@@ -1,0 +1,145 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Examples:
+//
+//	experiments -run all
+//	experiments -run fig10,fig11 -scale 1
+//	experiments -run fig12 -scale 2 -progress
+//	experiments -run table2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpues"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated: table1, fig10, fig11, table2, fig12, fig13, fig14, scalability, ablations, all")
+		scale    = flag.Int("scale", 0, "dataset scale (0 = per-figure default: 1 for fig10/11/14, 2 for fig12/13)")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: the figure's full suite)")
+		progress = flag.Bool("progress", false, "print one line per completed simulation")
+		par      = flag.Int("j", 0, "parallel simulations (0 = GOMAXPROCS)")
+		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	opt := gpues.ExperimentOptions{Scale: *scale, Parallelism: *par}
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *progress {
+		opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	want := map[string]bool{}
+	for _, r := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+	all := want["all"]
+
+	// Per-figure default scales: the pipeline studies converge at scale
+	// 1; the use cases need larger datasets for sustained fault streams.
+	withScale := func(def int) gpues.ExperimentOptions {
+		o := opt
+		if o.Scale == 0 {
+			o.Scale = def
+		}
+		return o
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	show := func(r *gpues.ExperimentResult) {
+		if *asJSON {
+			b, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(string(b))
+			return
+		}
+		fmt.Println(r.String())
+	}
+
+	if all || want["table1"] {
+		fmt.Println(gpues.Table1())
+	}
+	if all || want["fig10"] {
+		r, err := gpues.Figure10(withScale(1))
+		if err != nil {
+			fail(err)
+		}
+		show(r)
+	}
+	if all || want["fig11"] {
+		r, err := gpues.Figure11(withScale(1))
+		if err != nil {
+			fail(err)
+		}
+		show(r)
+	}
+	if all || want["table2"] {
+		rows, err := gpues.Table2()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("table2 — Operand logging overheads")
+		fmt.Printf("%-8s %10s %10s %10s %10s\n", "log", "SM area", "GPU area", "SM power", "GPU power")
+		for _, r := range rows {
+			fmt.Printf("%-8s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
+				fmt.Sprintf("%d KB", r.LogKB), r.SMAreaPct, r.GPUAreaPct, r.SMPowerPct, r.GPUPowerPct)
+		}
+		fmt.Println()
+	}
+	if all || want["fig12"] {
+		r, err := gpues.Figure12(withScale(2))
+		if err != nil {
+			fail(err)
+		}
+		show(r)
+	}
+	if all || want["fig13"] {
+		r, err := gpues.Figure13(withScale(2))
+		if err != nil {
+			fail(err)
+		}
+		show(r)
+	}
+	if all || want["fig14"] {
+		r, err := gpues.Figure14(withScale(1))
+		if err != nil {
+			fail(err)
+		}
+		show(r)
+	}
+	if all || want["scalability"] || want["scal"] {
+		r, err := gpues.SchemeScalability(withScale(1))
+		if err != nil {
+			fail(err)
+		}
+		show(r)
+		r, err = gpues.LocalHandlingScalability(withScale(1))
+		if err != nil {
+			fail(err)
+		}
+		show(r)
+	}
+	if all || want["ablations"] {
+		rs, err := gpues.RunAblations(withScale(1))
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range rs {
+			show(r)
+		}
+	}
+}

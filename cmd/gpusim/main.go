@@ -1,0 +1,148 @@
+// Command gpusim runs one benchmark kernel through the GPU timing
+// simulator and prints its execution statistics.
+//
+// Examples:
+//
+//	gpusim -workload sgemm
+//	gpusim -workload lbm -scheme replay-queue
+//	gpusim -workload stencil -paging -switching -link pcie
+//	gpusim -workload halloc-spree -lazy -local
+//	gpusim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpues"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available workloads and exit")
+		workload  = flag.String("workload", "sgemm", "workload to run (see -list)")
+		schemeStr = flag.String("scheme", "baseline", "pipeline scheme: baseline, wd-commit, wd-lastcheck, replay-queue, operand-log")
+		scale     = flag.Int("scale", 1, "dataset scale factor")
+		linkStr   = flag.String("link", "nvlink", "CPU-GPU interconnect: nvlink or pcie")
+		paging    = flag.Bool("paging", false, "start data in CPU memory (on-demand paging)")
+		lazy      = flag.Bool("lazy", false, "leave output/heap pages unallocated (lazy allocation)")
+		switching = flag.Bool("switching", false, "enable thread block switching on fault (use case 1)")
+		local     = flag.Bool("local", false, "handle allocation-only faults on the GPU (use case 2)")
+		logKB     = flag.Int("log-kb", 16, "operand log size in KB (operand-log scheme)")
+		verbose   = flag.Bool("v", false, "print per-SM statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, suite := range []string{"parboil", "halloc", "sdk"} {
+			fmt.Printf("%s:\n", suite)
+			for _, name := range gpues.WorkloadNames(suite) {
+				desc, _ := gpues.WorkloadDescription(name)
+				fmt.Printf("  %-16s %s\n", name, desc)
+			}
+		}
+		return
+	}
+
+	cfg := gpues.DefaultConfig()
+	switch *schemeStr {
+	case "baseline":
+		cfg.Scheme = gpues.Baseline
+	case "wd-commit":
+		cfg.Scheme = gpues.WarpDisableCommit
+	case "wd-lastcheck":
+		cfg.Scheme = gpues.WarpDisableLastCheck
+	case "replay-queue":
+		cfg.Scheme = gpues.ReplayQueue
+	case "operand-log":
+		cfg.Scheme = gpues.OperandLog
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeStr)
+		os.Exit(2)
+	}
+	switch *linkStr {
+	case "nvlink":
+		cfg.Link = gpues.NVLinkConfig()
+	case "pcie":
+		cfg.Link = gpues.PCIeConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown link %q\n", *linkStr)
+		os.Exit(2)
+	}
+	cfg.SM.OperandLog.SizeKB = *logKB
+	cfg.DemandPaging = *paging
+	cfg.Scheduler.Enabled = *switching
+	cfg.Local.Enabled = *local
+
+	place := gpues.ResidentPlacement()
+	switch {
+	case *paging && *lazy:
+		fmt.Fprintln(os.Stderr, "-paging and -lazy are mutually exclusive")
+		os.Exit(2)
+	case *paging:
+		place = gpues.DemandPagingPlacement()
+	case *lazy:
+		place = gpues.LazyOutputPlacement()
+	}
+	if (*switching || cfg.DemandPaging || *lazy) && cfg.Scheme == gpues.Baseline {
+		// Preemption requires a preemptible pipeline; warn but allow the
+		// stall-on-fault baseline for comparison runs.
+		if *switching {
+			fmt.Fprintln(os.Stderr, "note: block switching needs a preemptible scheme; using replay-queue")
+			cfg.Scheme = gpues.ReplayQueue
+		}
+	}
+
+	spec, err := gpues.BuildWorkload(*workload, gpues.WorkloadParams{Scale: *scale, Placement: place})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := gpues.Run(cfg, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload      %s (scale %d, %d blocks of %d threads)\n",
+		*workload, *scale, spec.Launch.Blocks(), spec.Launch.ThreadsPerBlock())
+	fmt.Printf("scheme        %v, link %v\n", cfg.Scheme, cfg.Link.Kind)
+	fmt.Printf("cycles        %d (%.1f us at %.0f GHz)\n",
+		res.Cycles, float64(res.Cycles)/1000/cfg.System.FrequencyGHz, cfg.System.FrequencyGHz)
+	fmt.Printf("committed     %d warp instructions, IPC %.2f\n", res.Committed, res.IPC())
+	fmt.Printf("occupancy     %d blocks/SM\n", res.Occupancy)
+	fmt.Printf("L2            %d hits / %d misses, %d writebacks\n", res.L2.Hits, res.L2.Misses, res.L2.WriteBacks)
+	fmt.Printf("L2 TLB        %d hits / %d misses\n", res.L2TLB.Hits, res.L2TLB.Misses)
+	fmt.Printf("walks         %d (%d faulted)\n", res.Walks, res.WalkFaults)
+	fmt.Printf("DRAM          %d reads / %d writes, %d stall cycles\n",
+		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.StallCycles)
+	if res.FaultUnit.Raised > 0 {
+		fmt.Printf("faults        %d raised, %d regions (%d merged), max queue %d\n",
+			res.FaultUnit.Raised, res.FaultUnit.Regions, res.FaultUnit.Merged, res.FaultUnit.MaxQueue)
+		fmt.Printf("routing       %d to CPU, %d to GPU-local handler\n",
+			res.FaultUnit.RoutedCPU, res.FaultUnit.RoutedLocal)
+		fmt.Printf("link          %.1f%% utilized\n", 100*res.LinkUtil)
+	}
+	var sq, rp, out, in int64
+	for _, s := range res.SMs {
+		sq += s.Squashed
+		rp += s.Replays
+		out += s.SwitchesOut
+		in += s.SwitchesIn
+	}
+	if sq > 0 {
+		fmt.Printf("preemption    %d squashed, %d replayed\n", sq, rp)
+	}
+	if out > 0 {
+		fmt.Printf("switching     %d blocks out, %d restored\n", out, in)
+	}
+	if *verbose {
+		fmt.Println("\nper-SM:")
+		for i, s := range res.SMs {
+			fmt.Printf("  SM%-2d committed=%8d active=%6.1f%% faults=%4d switches=%d/%d\n",
+				i, s.Committed, 100*float64(s.ActiveCycles)/float64(s.Cycles),
+				s.Faults, s.SwitchesOut, s.SwitchesIn)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Demand paging example (use case 1): run a kernel whose data starts in
+// CPU memory, so every first touch triggers an on-demand page
+// migration, and compare plain stalling against thread block switching
+// on fault — the paper's Figure 12 experiment for one benchmark.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpues"
+)
+
+func run(workload string, link string, switching, ideal bool) *gpues.Result {
+	spec, err := gpues.BuildWorkload(workload, gpues.WorkloadParams{
+		Scale:     2,
+		Placement: gpues.DemandPagingPlacement(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := gpues.DefaultConfig()
+	cfg.Scheme = gpues.ReplayQueue // switching needs preemptible faults
+	cfg.DemandPaging = true
+	if link == "pcie" {
+		cfg.Link = gpues.PCIeConfig()
+	}
+	cfg.Scheduler.Enabled = switching
+	cfg.Scheduler.IdealContextSwitch = ideal
+
+	res, err := gpues.Run(cfg, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	const workload = "sgemm"
+	fmt.Printf("on-demand paging of %s: all data starts in CPU memory\n\n", workload)
+
+	for _, link := range []string{"nvlink", "pcie"} {
+		base := run(workload, link, false, false)
+		sw := run(workload, link, true, false)
+		id := run(workload, link, true, true)
+
+		var out, in int64
+		for _, s := range sw.SMs {
+			out += s.SwitchesOut
+			in += s.SwitchesIn
+		}
+		fmt.Printf("%s:\n", link)
+		fmt.Printf("  no switching     %8d cycles (%d migrations, link %.0f%% busy)\n",
+			base.Cycles, base.CPUFaults.Migrations, 100*base.LinkUtil)
+		fmt.Printf("  block switching  %8d cycles (speedup %.3f, %d blocks switched out, %d restored)\n",
+			sw.Cycles, float64(base.Cycles)/float64(sw.Cycles), out, in)
+		fmt.Printf("  ideal 1-cy switch%8d cycles (speedup %.3f)\n\n",
+			id.Cycles, float64(base.Cycles)/float64(id.Cycles))
+	}
+
+	fmt.Println("While a faulted block waits for its pages, the local scheduler")
+	fmt.Println("saves its context off-chip and runs another pending block.")
+}

@@ -1,0 +1,55 @@
+// Lazy allocation example (use case 2): a kernel that uses device-side
+// dynamic memory allocation. Its heap pages have no physical backing
+// until first touch, so every fresh allocation faults. Compare CPU
+// fault handling (every fault interrupts the CPU and crosses the
+// interconnect) against the GPU-local handler that allocates physical
+// memory and updates the page table on the GPU itself — the paper's
+// Figure 13 experiment for one benchmark.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpues"
+)
+
+func run(workload string, local bool, link string) *gpues.Result {
+	spec, err := gpues.BuildWorkload(workload, gpues.WorkloadParams{
+		Scale:     2,
+		Placement: gpues.LazyOutputPlacement(), // heap pages unallocated
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := gpues.DefaultConfig()
+	cfg.Scheme = gpues.ReplayQueue // local handling needs preemptible faults
+	cfg.Local.Enabled = local
+	if link == "pcie" {
+		cfg.Link = gpues.PCIeConfig()
+	}
+	res, err := gpues.Run(cfg, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	for _, workload := range []string{"halloc-spree", "quadtree"} {
+		desc, _ := gpues.WorkloadDescription(workload)
+		fmt.Printf("%s — %s\n", workload, desc)
+		for _, link := range []string{"nvlink", "pcie"} {
+			cpu := run(workload, false, link)
+			gpu := run(workload, true, link)
+			fmt.Printf("  %-7s CPU handling %8d cycles (%d faults one by one)\n",
+				link, cpu.Cycles, cpu.FaultUnit.Regions)
+			fmt.Printf("          GPU handling %8d cycles (%d handled locally)  speedup %.2fx\n",
+				gpu.Cycles, gpu.Local.Handled, float64(cpu.Cycles)/float64(gpu.Cycles))
+		}
+		fmt.Println()
+	}
+	fmt.Println("The GPU handler is 10x slower per fault (20 us vs 2 us of CPU time),")
+	fmt.Println("but it runs in parallel and never crosses the interconnect, so under")
+	fmt.Println("a fault storm it wins on throughput.")
+}

@@ -1,0 +1,53 @@
+// Quickstart: run one benchmark under every exception scheme and see
+// the performance cost of preemptible faults (the Figure 10 experiment
+// in miniature).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpues"
+)
+
+func main() {
+	const workload = "sgemm"
+	desc, err := gpues.WorkloadDescription(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %s\n\n", workload, desc)
+
+	schemes := []gpues.Scheme{
+		gpues.Baseline,
+		gpues.WarpDisableCommit,
+		gpues.WarpDisableLastCheck,
+		gpues.ReplayQueue,
+		gpues.OperandLog,
+	}
+
+	var baseline int64
+	for _, scheme := range schemes {
+		// Each run needs a fresh build: the functional memory is
+		// mutated by execution.
+		spec, err := gpues.BuildWorkload(workload, gpues.WorkloadParams{Scale: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := gpues.DefaultConfig()
+		cfg.Scheme = scheme
+
+		res, err := gpues.Run(cfg, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if scheme == gpues.Baseline {
+			baseline = res.Cycles
+		}
+		fmt.Printf("%-14v %8d cycles   IPC %5.2f   relative perf %.3f\n",
+			scheme, res.Cycles, res.IPC(), float64(baseline)/float64(res.Cycles))
+	}
+
+	fmt.Println("\nThe baseline cannot preempt faulted warps; every other scheme")
+	fmt.Println("can context switch them at the cost shown in the last column.")
+}

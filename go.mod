@@ -1,0 +1,3 @@
+module gpues
+
+go 1.22

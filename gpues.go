@@ -1,0 +1,220 @@
+// Package gpues is a cycle-level GPU architecture simulator with
+// support for preemptible exceptions, reproducing "Efficient Exception
+// Handling Support for GPUs" (Tanasic et al., MICRO 2017).
+//
+// The simulator models a 16-SM Kepler-class GPU (Table 1 of the paper):
+// SIMT pipelines with scoreboarding and out-of-order commit, private L1
+// caches and TLBs, a shared L2 cache and TLB, page table walkers, DRAM,
+// a CPU-GPU interconnect (NVLink or PCIe), and a CPU driver that
+// resolves page faults. On top of the baseline stall-on-fault pipeline
+// it implements the paper's three preemptible exception schemes — warp
+// disable, replay queue, and operand log — plus the two use cases:
+// thread block switching on fault and GPU-local fault handling.
+//
+// Quick start:
+//
+//	spec, _ := gpues.BuildWorkload("sgemm", gpues.WorkloadParams{Scale: 1})
+//	cfg := gpues.DefaultConfig()
+//	cfg.Scheme = gpues.ReplayQueue
+//	result, _ := gpues.Run(cfg, spec)
+//	fmt.Printf("%d cycles, IPC %.2f\n", result.Cycles, result.IPC())
+//
+// Custom kernels are written against the internal ISA with the exported
+// kernel Builder; see examples/customkernel.
+package gpues
+
+import (
+	"gpues/internal/cacti"
+	"gpues/internal/config"
+	"gpues/internal/emu"
+	"gpues/internal/experiments"
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+	"gpues/internal/sim"
+	"gpues/internal/vm"
+	"gpues/internal/workloads"
+)
+
+// Configuration ---------------------------------------------------------
+
+// Config is the full simulation configuration (Table 1 defaults via
+// DefaultConfig).
+type Config = config.Config
+
+// Scheme selects the SM pipeline organization.
+type Scheme = config.Scheme
+
+// The five pipeline organizations of the paper.
+const (
+	// Baseline is the stall-on-fault pipeline of current GPUs.
+	Baseline = config.Baseline
+	// WarpDisableCommit re-enables warp fetch at the memory
+	// instruction's commit.
+	WarpDisableCommit = config.WarpDisableCommit
+	// WarpDisableLastCheck re-enables warp fetch at the last TLB check.
+	WarpDisableLastCheck = config.WarpDisableLastCheck
+	// ReplayQueue captures in-flight memory instructions for replay.
+	ReplayQueue = config.ReplayQueue
+	// OperandLog additionally logs source operands.
+	OperandLog = config.OperandLog
+)
+
+// DefaultConfig returns the paper's Table 1 configuration (16 SMs at
+// 1 GHz over NVLink, baseline pipeline).
+func DefaultConfig() Config { return config.Default() }
+
+// NVLinkConfig and PCIeConfig return the two interconnect
+// configurations evaluated by the paper.
+func NVLinkConfig() config.InterconnectConfig { return config.NVLinkConfig() }
+
+// PCIeConfig returns the PCIe 3.0 interconnect configuration.
+func PCIeConfig() config.InterconnectConfig { return config.PCIeConfig() }
+
+// Simulation ------------------------------------------------------------
+
+// LaunchSpec is a runnable kernel launch: code, functional memory and
+// virtual memory regions.
+type LaunchSpec = sim.LaunchSpec
+
+// Result is the outcome of a simulated kernel execution.
+type Result = sim.Result
+
+// Simulator is a one-shot full-system simulation.
+type Simulator = sim.Simulator
+
+// Run simulates the launch under the configuration.
+func Run(cfg Config, spec LaunchSpec) (*Result, error) {
+	return sim.RunSpec(cfg, spec)
+}
+
+// NewSimulator wires a simulator without running it (for callers that
+// want to inspect the address space afterwards).
+func NewSimulator(cfg Config, spec LaunchSpec) (*Simulator, error) {
+	return sim.New(cfg, spec)
+}
+
+// Workloads --------------------------------------------------------------
+
+// WorkloadParams configures a benchmark build.
+type WorkloadParams = workloads.Params
+
+// Placement selects buffer placement (resident, demand paging, lazy).
+type Placement = workloads.Placement
+
+// ResidentPlacement places all buffers in GPU memory (fault-free).
+func ResidentPlacement() Placement { return workloads.Resident() }
+
+// DemandPagingPlacement starts all data in CPU memory (Figure 12).
+func DemandPagingPlacement() Placement { return workloads.DemandPaging() }
+
+// LazyOutputPlacement leaves outputs and heap unallocated (Figures
+// 13/14).
+func LazyOutputPlacement() Placement { return workloads.LazyOutput() }
+
+// BuildWorkload builds a named benchmark (see WorkloadNames).
+func BuildWorkload(name string, p WorkloadParams) (LaunchSpec, error) {
+	return workloads.Build(name, p)
+}
+
+// WorkloadNames lists benchmarks of a suite: "parboil", "halloc", "sdk"
+// or "" for all.
+func WorkloadNames(suite string) []string { return workloads.Names(suite) }
+
+// WorkloadDescription returns a benchmark's one-line description.
+func WorkloadDescription(name string) (string, error) {
+	w, err := workloads.Get(name)
+	if err != nil {
+		return "", err
+	}
+	return w.Description, nil
+}
+
+// Kernel construction ----------------------------------------------------
+
+// KernelBuilder assembles custom kernels against the simulator's ISA.
+type KernelBuilder = kernel.Builder
+
+// Kernel is a compiled kernel.
+type Kernel = kernel.Kernel
+
+// Launch pairs a kernel with its grid geometry.
+type Launch = kernel.Launch
+
+// Dim3 is a launch dimension.
+type Dim3 = kernel.Dim3
+
+// Reg is an ISA register operand.
+type Reg = isa.Reg
+
+// NewKernelBuilder starts building a kernel.
+func NewKernelBuilder(name string) *KernelBuilder { return kernel.NewBuilder(name) }
+
+// Memory is the functional global memory a launch executes against.
+type Memory = emu.Memory
+
+// NewMemory returns an empty functional memory.
+func NewMemory() *Memory { return emu.NewMemory() }
+
+// Region is a virtual memory region with an initial placement.
+type Region = vm.Region
+
+// Region kinds.
+const (
+	// RegionCPUInit: CPU-written input data (migrates on fault).
+	RegionCPUInit = vm.RegionCPUInit
+	// RegionCPUClean: CPU-owned but clean (allocation-only fault).
+	RegionCPUClean = vm.RegionCPUClean
+	// RegionLazy: unallocated until first touch.
+	RegionLazy = vm.RegionLazy
+	// RegionGPUInit: pre-placed in GPU memory (no faults).
+	RegionGPUInit = vm.RegionGPUInit
+)
+
+// Experiments -------------------------------------------------------------
+
+// ExperimentOptions configures a figure/table regeneration.
+type ExperimentOptions = experiments.Options
+
+// ExperimentResult is one regenerated figure or table.
+type ExperimentResult = experiments.Result
+
+// Figure10 regenerates the warp-disable / replay-queue comparison.
+func Figure10(opt ExperimentOptions) (*ExperimentResult, error) { return experiments.Fig10(opt) }
+
+// Figure11 regenerates the operand log size sweep.
+func Figure11(opt ExperimentOptions) (*ExperimentResult, error) { return experiments.Fig11(opt) }
+
+// Figure12 regenerates thread block switching under demand paging.
+func Figure12(opt ExperimentOptions) (*ExperimentResult, error) { return experiments.Fig12(opt) }
+
+// Figure13 regenerates local handling of dynamic-allocation faults.
+func Figure13(opt ExperimentOptions) (*ExperimentResult, error) { return experiments.Fig13(opt) }
+
+// Figure14 regenerates local handling of output-page faults.
+func Figure14(opt ExperimentOptions) (*ExperimentResult, error) { return experiments.Fig14(opt) }
+
+// SchemeScalability sweeps the GPU size for the exception schemes
+// (the Section 5.5 discussion as an experiment).
+func SchemeScalability(opt ExperimentOptions) (*ExperimentResult, error) {
+	return experiments.SchemeScalability(opt)
+}
+
+// LocalHandlingScalability sweeps the GPU size for use case 2.
+func LocalHandlingScalability(opt ExperimentOptions) (*ExperimentResult, error) {
+	return experiments.LocalHandlingScalability(opt)
+}
+
+// RunAblations sweeps the design parameters (switch threshold, extra
+// block budget, handler concurrency, fault granularity).
+func RunAblations(opt ExperimentOptions) ([]*ExperimentResult, error) {
+	return experiments.Ablations(opt)
+}
+
+// Table1 renders the simulation parameters.
+func Table1() string { return experiments.Table1() }
+
+// LogOverheads is one row of Table 2 (operand log area/power).
+type LogOverheads = cacti.Overheads
+
+// Table2 computes the operand log area and power overheads.
+func Table2() ([]LogOverheads, error) { return cacti.Table2() }

@@ -1,0 +1,209 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+)
+
+// Disassemble renders a kernel as a listing that Assemble parses back
+// into an equivalent kernel.
+func Disassemble(k *kernel.Kernel) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".kernel %s\n", sanitizeName(k.Name))
+	if k.RegsPerThread > 0 {
+		fmt.Fprintf(&sb, ".regs %d\n", k.RegsPerThread)
+	}
+	if k.SharedMemBytes > 0 {
+		fmt.Fprintf(&sb, ".shared %d\n", k.SharedMemBytes)
+	}
+	for i, v := range k.Params {
+		fmt.Fprintf(&sb, ".param p%d %#x\n", i, v)
+	}
+	sb.WriteByte('\n')
+
+	// Collect label positions: branch targets and reconvergence points.
+	labels := map[int32]string{}
+	for _, in := range k.Code {
+		if in.Op != isa.OpBra {
+			continue
+		}
+		if _, ok := labels[in.Target]; !ok {
+			labels[in.Target] = fmt.Sprintf("L%d", in.Target)
+		}
+		if in.Reconv >= 0 {
+			if _, ok := labels[in.Reconv]; !ok {
+				labels[in.Reconv] = fmt.Sprintf("L%d", in.Reconv)
+			}
+		}
+	}
+
+	for pc, in := range k.Code {
+		if name, ok := labels[int32(pc)]; ok {
+			fmt.Fprintf(&sb, "%s:\n", name)
+		}
+		fmt.Fprintf(&sb, "    %s\n", formatInst(in, labels))
+	}
+	// A label can point one past the last instruction only via malformed
+	// code; Validate rejects that, so no trailing label handling needed.
+	return sb.String()
+}
+
+func sanitizeName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "kernel"
+	}
+	return string(out)
+}
+
+func regName(r isa.Reg) string {
+	if r == isa.RZ {
+		return "rz"
+	}
+	return fmt.Sprintf("r%d", int16(r))
+}
+
+func memOperand(base isa.Reg, off int64) string {
+	if off == 0 {
+		return fmt.Sprintf("[%s]", regName(base))
+	}
+	return fmt.Sprintf("[%s%+d]", regName(base), off)
+}
+
+func sizeSuffix(size uint8) string {
+	if size == 4 {
+		return "u32"
+	}
+	return "u64"
+}
+
+var opMnemonics = map[isa.Op]string{
+	isa.OpIAdd: "iadd", isa.OpISub: "isub", isa.OpIMul: "imul",
+	isa.OpIMin: "imin", isa.OpIMax: "imax",
+	isa.OpShl: "shl", isa.OpShr: "shr",
+	isa.OpAnd: "and", isa.OpOr: "or", isa.OpXor: "xor",
+	isa.OpFAdd: "fadd", isa.OpFSub: "fsub", isa.OpFMul: "fmul",
+	isa.OpFMin: "fmin", isa.OpFMax: "fmax",
+	isa.OpFRcp: "rcp", isa.OpFSqrt: "sqrt", isa.OpFRsqrt: "rsqrt",
+	isa.OpFExp: "ex2", isa.OpFLog: "lg2", isa.OpFSin: "sin", isa.OpFCos: "cos",
+	isa.OpI2F: "i2f", isa.OpF2I: "f2i",
+}
+
+func formatInst(in isa.Instruction, labels map[int32]string) string {
+	pred := ""
+	if in.Pred != isa.RegNone {
+		neg := ""
+		if in.PredNeg {
+			neg = "!"
+		}
+		pred = fmt.Sprintf("@%s%s ", neg, regName(in.Pred))
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+		return pred + "nop"
+	case isa.OpExit:
+		return pred + "exit"
+	case isa.OpBar:
+		return pred + "bar.sync"
+	case isa.OpBra:
+		target := labels[in.Target]
+		if in.Pred == isa.RegNone {
+			return pred + "bra " + target
+		}
+		if in.Reconv < 0 {
+			return pred + "bra.uni " + target
+		}
+		return fmt.Sprintf("%sbra %s, %s", pred, target, labels[in.Reconv])
+	case isa.OpMov:
+		if in.SrcA == isa.RegNone {
+			// Heuristic: immediates that decode to a clean float64 and
+			// do not fit a plain small integer print as fmov; both parse
+			// back to the same bits only when the caller knows which it
+			// wants, so we print the integer form, which always
+			// round-trips bit-exactly.
+			return fmt.Sprintf("%smov %s, #%d", pred, regName(in.Dst), in.Imm)
+		}
+		return fmt.Sprintf("%smov %s, %s", pred, regName(in.Dst), regName(in.SrcA))
+	case isa.OpS2R:
+		return fmt.Sprintf("%ss2r %s, %v", pred, regName(in.Dst), isa.SReg(in.Imm))
+	case isa.OpLdParam:
+		return fmt.Sprintf("%sldc %s, param[%d]", pred, regName(in.Dst), in.Imm)
+	case isa.OpIMad, isa.OpFFma:
+		m := "imad"
+		if in.Op == isa.OpFFma {
+			m = "ffma"
+		}
+		return fmt.Sprintf("%s%s %s, %s, %s, %s", pred, m,
+			regName(in.Dst), regName(in.SrcA), regName(in.SrcB), regName(in.SrcC))
+	case isa.OpSetP, isa.OpFSetP:
+		m := "isetp"
+		if in.Op == isa.OpFSetP {
+			m = "fsetp"
+		}
+		s := fmt.Sprintf("%s%s.%v %s, %s, %s", pred, m, in.Cmp,
+			regName(in.Dst), regName(in.SrcA), regName(in.SrcB))
+		if in.Imm != 0 {
+			s += fmt.Sprintf(", #%d", in.Imm)
+		}
+		return s
+	case isa.OpLdGlobal, isa.OpLdShared:
+		space := "global"
+		if in.Op == isa.OpLdShared {
+			space = "shared"
+		}
+		return fmt.Sprintf("%sld.%s.%s %s, %s", pred, space, sizeSuffix(in.Size),
+			regName(in.Dst), memOperand(in.SrcA, in.Imm))
+	case isa.OpStGlobal, isa.OpStShared:
+		space := "global"
+		if in.Op == isa.OpStShared {
+			space = "shared"
+		}
+		return fmt.Sprintf("%sst.%s.%s %s, %s", pred, space, sizeSuffix(in.Size),
+			memOperand(in.SrcA, in.Imm), regName(in.SrcB))
+	case isa.OpAtomGlobal:
+		s := fmt.Sprintf("%satom.global.%v.%s %s, %s, %s", pred, in.Atom, sizeSuffix(in.Size),
+			regName(in.Dst), memOperand(in.SrcA, in.Imm), regName(in.SrcB))
+		if in.Atom == isa.AtomCAS {
+			s += ", " + regName(in.SrcC)
+		}
+		return s
+	}
+
+	if m, ok := opMnemonics[in.Op]; ok {
+		switch in.Op {
+		case isa.OpFRcp, isa.OpFSqrt, isa.OpFRsqrt, isa.OpFExp, isa.OpFLog,
+			isa.OpFSin, isa.OpFCos, isa.OpI2F, isa.OpF2I:
+			return fmt.Sprintf("%s%s %s, %s", pred, m, regName(in.Dst), regName(in.SrcA))
+		default:
+			// Three-operand ALU: print register or immediate second
+			// source; a trailing immediate prints when nonzero.
+			s := fmt.Sprintf("%s%s %s, %s, %s", pred, m,
+				regName(in.Dst), regName(in.SrcA), regName(in.SrcB))
+			if in.Imm != 0 {
+				s += fmt.Sprintf(", #%d", in.Imm)
+			}
+			return s
+		}
+	}
+	return pred + "nop // unprintable op"
+}
+
+// FormatFloat64Imm is a helper for writing float immediates in
+// hand-written listings: it returns the integer immediate encoding of a
+// float64 value ("mov r1, #<this>").
+func FormatFloat64Imm(f float64) string {
+	return fmt.Sprintf("#%d", int64(math.Float64bits(f)))
+}

@@ -1,0 +1,298 @@
+// Package cache implements the set-associative cache models of the
+// memory hierarchy (Table 1): a write-through, no-allocate L1 per SM and
+// a write-back, write-allocate shared L2, both with a bounded number of
+// MSHRs that merge secondary misses and exert backpressure when full.
+package cache
+
+import (
+	"fmt"
+
+	"gpues/internal/clock"
+)
+
+// Backend is the next level below a cache (another cache or DRAM).
+type Backend interface {
+	// Fetch requests a line; done runs when the data is available.
+	// A false return means the level cannot accept the request now and
+	// the caller must retry.
+	Fetch(addr uint64, done func()) bool
+	// Write hands a line of store traffic downstream; done runs when
+	// the write has been accepted (used for bandwidth accounting, not
+	// for store completion).
+	Write(addr uint64, done func()) bool
+}
+
+// WritePolicy selects how stores are handled.
+type WritePolicy uint8
+
+const (
+	// WriteThrough (L1): stores update the line if present and always
+	// forward downstream; misses do not allocate.
+	WriteThrough WritePolicy = iota
+	// WriteBack (L2): stores allocate and dirty the line; dirty victims
+	// are written downstream on eviction.
+	WriteBack
+)
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	MSHRMerges int64
+	Rejects    int64 // accesses refused because MSHRs were full
+	WriteBacks int64
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   int64
+}
+
+type mshr struct {
+	waiters []func()
+}
+
+// Config sizes a cache.
+type Config struct {
+	Name    string
+	SizeKB  int
+	Ways    int
+	LineB   int
+	MSHRs   int
+	Latency int64
+	Policy  WritePolicy
+}
+
+// Cache is one cache level. Not safe for concurrent use.
+type Cache struct {
+	cfg     Config
+	sets    int
+	lines   [][]line // [set][way]
+	q       *clock.Queue
+	next    Backend
+	mshrs   map[uint64]*mshr // keyed by line address
+	stats   Stats
+	tick    int64 // LRU clock
+	waiters []func()
+}
+
+// freeNotifier is implemented by levels that can call back when miss
+// resources free up, avoiding per-cycle retry polling.
+type freeNotifier interface{ OnFree(func()) }
+
+// OnFree registers fn to run when an MSHR is released. Rejected callers
+// use this instead of polling; fn typically retries the access and
+// re-registers if still rejected.
+func (c *Cache) OnFree(fn func()) { c.waiters = append(c.waiters, fn) }
+
+// release drains waiters while miss resources are available.
+func (c *Cache) release() {
+	for len(c.waiters) > 0 && len(c.mshrs) < c.cfg.MSHRs {
+		fn := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		fn()
+	}
+}
+
+// New builds a cache over the backend.
+func New(cfg Config, q *clock.Queue, next Backend) (*Cache, error) {
+	if cfg.LineB <= 0 || cfg.LineB&(cfg.LineB-1) != 0 {
+		return nil, fmt.Errorf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineB)
+	}
+	if cfg.Ways <= 0 || cfg.SizeKB <= 0 {
+		return nil, fmt.Errorf("cache %s: bad geometry %d KB / %d ways", cfg.Name, cfg.SizeKB, cfg.Ways)
+	}
+	total := cfg.SizeKB * 1024 / cfg.LineB
+	sets := total / cfg.Ways
+	if sets == 0 {
+		return nil, fmt.Errorf("cache %s: fewer lines (%d) than ways (%d)", cfg.Name, total, cfg.Ways)
+	}
+	ls := make([][]line, sets)
+	for i := range ls {
+		ls[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		lines: ls,
+		q:     q,
+		next:  next,
+		mshrs: make(map[uint64]*mshr),
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// InFlight returns the number of occupied MSHRs.
+func (c *Cache) InFlight() int { return len(c.mshrs) }
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineB-1) }
+
+func (c *Cache) find(addr uint64) (setIdx int, l *line) {
+	tag := addr / uint64(c.cfg.LineB)
+	set := int(tag % uint64(c.sets))
+	for w := range c.lines[set] {
+		ln := &c.lines[set][w]
+		if ln.valid && ln.tag == tag {
+			return set, ln
+		}
+	}
+	return set, nil
+}
+
+// install places the line, evicting the LRU victim; a dirty victim is
+// written back downstream (retrying until accepted).
+func (c *Cache) install(addr uint64, dirty bool) {
+	tag := addr / uint64(c.cfg.LineB)
+	set := int(tag % uint64(c.sets))
+	victim := &c.lines[set][0]
+	for w := range c.lines[set] {
+		ln := &c.lines[set][w]
+		if !ln.valid {
+			victim = ln
+			break
+		}
+		if ln.lru < victim.lru {
+			victim = ln
+		}
+	}
+	if victim.valid && victim.dirty {
+		c.stats.WriteBacks++
+		victimAddr := victim.tag * uint64(c.cfg.LineB)
+		c.sendWrite(victimAddr)
+	}
+	c.tick++
+	*victim = line{tag: tag, valid: true, dirty: dirty, lru: c.tick}
+}
+
+// sendWrite forwards write traffic downstream, retrying on rejection.
+func (c *Cache) sendWrite(addr uint64) {
+	if c.next == nil {
+		return
+	}
+	if !c.next.Write(addr, func() {}) {
+		if fn, ok := c.next.(freeNotifier); ok {
+			fn.OnFree(func() { c.sendWrite(addr) })
+		} else {
+			c.q.After(1, func() { c.sendWrite(addr) })
+		}
+	}
+}
+
+// Access performs a load (write=false) or store (write=true) of one
+// coalesced request. done runs when the access completes from the
+// caller's perspective. Returns false when the access cannot be
+// accepted (MSHRs full) — the caller must retry.
+func (c *Cache) Access(addr uint64, write bool, done func()) bool {
+	addr = c.lineAddr(addr)
+	if write {
+		return c.accessWrite(addr, done)
+	}
+	return c.accessRead(addr, done)
+}
+
+func (c *Cache) accessRead(addr uint64, done func()) bool {
+	_, ln := c.find(addr)
+	if ln != nil {
+		c.stats.Hits++
+		c.tick++
+		ln.lru = c.tick
+		c.q.After(c.cfg.Latency, done)
+		return true
+	}
+	if m, ok := c.mshrs[addr]; ok {
+		c.stats.MSHRMerges++
+		m.waiters = append(m.waiters, done)
+		return true
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		c.stats.Rejects++
+		return false
+	}
+	c.stats.Misses++
+	m := &mshr{waiters: []func(){done}}
+	c.mshrs[addr] = m
+	// Tag lookup takes the access latency before the miss goes down.
+	c.q.After(c.cfg.Latency, func() { c.issueFetch(addr, m) })
+	return true
+}
+
+func (c *Cache) issueFetch(addr uint64, m *mshr) {
+	ok := c.next.Fetch(addr, func() {
+		c.install(addr, false)
+		delete(c.mshrs, addr)
+		for _, w := range m.waiters {
+			w()
+		}
+		c.release()
+	})
+	if !ok {
+		if fn, okN := c.next.(freeNotifier); okN {
+			fn.OnFree(func() { c.issueFetch(addr, m) })
+		} else {
+			c.q.After(1, func() { c.issueFetch(addr, m) })
+		}
+	}
+}
+
+func (c *Cache) accessWrite(addr uint64, done func()) bool {
+	_, ln := c.find(addr)
+	switch c.cfg.Policy {
+	case WriteThrough:
+		if ln != nil {
+			c.stats.Hits++
+			c.tick++
+			ln.lru = c.tick
+		} else {
+			c.stats.Misses++
+		}
+		// The store completes locally (store buffer); traffic continues
+		// downstream in the background.
+		c.sendWrite(addr)
+		c.q.After(c.cfg.Latency, done)
+		return true
+	default: // WriteBack
+		if ln != nil {
+			c.stats.Hits++
+			c.tick++
+			ln.lru = c.tick
+			ln.dirty = true
+		} else {
+			// Write-allocate without fetch: the whole line is assumed
+			// written (coalesced 128 B stores make this the common case).
+			c.stats.Misses++
+			c.install(addr, true)
+		}
+		c.q.After(c.cfg.Latency, done)
+		return true
+	}
+}
+
+// Fetch implements Backend, so a cache can back another cache (the L1s
+// fetch their misses from the L2).
+func (c *Cache) Fetch(addr uint64, done func()) bool {
+	return c.accessRead(c.lineAddr(addr), done)
+}
+
+// Write implements Backend for downstream write traffic.
+func (c *Cache) Write(addr uint64, done func()) bool {
+	return c.accessWrite(c.lineAddr(addr), done)
+}
+
+// Flush writes back all dirty lines and invalidates the cache (used at
+// kernel boundaries).
+func (c *Cache) Flush() {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			ln := &c.lines[s][w]
+			if ln.valid && ln.dirty {
+				c.stats.WriteBacks++
+				c.sendWrite(ln.tag * uint64(c.cfg.LineB))
+			}
+			*ln = line{}
+		}
+	}
+}

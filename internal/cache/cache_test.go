@@ -1,0 +1,236 @@
+package cache
+
+import (
+	"testing"
+
+	"gpues/internal/clock"
+)
+
+// fakeBackend records traffic and answers fetches after a fixed delay.
+type fakeBackend struct {
+	q       *clock.Queue
+	latency int64
+	fetches int
+	writes  int
+	reject  bool
+}
+
+func (b *fakeBackend) Fetch(addr uint64, done func()) bool {
+	if b.reject {
+		return false
+	}
+	b.fetches++
+	b.q.After(b.latency, done)
+	return true
+}
+
+func (b *fakeBackend) Write(addr uint64, done func()) bool {
+	if b.reject {
+		return false
+	}
+	b.writes++
+	b.q.After(b.latency, done)
+	return true
+}
+
+func run(q *clock.Queue, maxCycles int64) {
+	for i := int64(0); i < maxCycles && q.Len() > 0; i++ {
+		q.Step()
+	}
+}
+
+func l1Config() Config {
+	return Config{Name: "L1", SizeKB: 32, Ways: 4, LineB: 128, MSHRs: 32, Latency: 40, Policy: WriteThrough}
+}
+
+func TestCacheReadMissThenHit(t *testing.T) {
+	q := clock.New()
+	be := &fakeBackend{q: q, latency: 100}
+	c, err := New(l1Config(), q, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t1, t2 int64 = -1, -1
+	if !c.Access(0x1000, false, func() { t1 = q.Now() }) {
+		t.Fatal("first access rejected")
+	}
+	run(q, 1000)
+	if t1 < 140 {
+		t.Errorf("miss completed at %d, want >= 140 (40 tag + 100 backend)", t1)
+	}
+	if be.fetches != 1 {
+		t.Errorf("backend fetches = %d, want 1", be.fetches)
+	}
+	c.Access(0x1000, false, func() { t2 = q.Now() })
+	start := q.Now()
+	run(q, 1000)
+	if t2-start != 40 {
+		t.Errorf("hit latency = %d, want 40", t2-start)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheMSHRMerge(t *testing.T) {
+	q := clock.New()
+	be := &fakeBackend{q: q, latency: 100}
+	c, _ := New(l1Config(), q, be)
+	done := 0
+	// Two accesses to the same line and one to a different offset in it.
+	c.Access(0x2000, false, func() { done++ })
+	c.Access(0x2040, false, func() { done++ }) // same 128B line
+	c.Access(0x2000, false, func() { done++ })
+	run(q, 1000)
+	if done != 3 {
+		t.Errorf("completions = %d, want 3", done)
+	}
+	if be.fetches != 1 {
+		t.Errorf("backend fetches = %d, want 1 (merged)", be.fetches)
+	}
+	if s := c.Stats(); s.MSHRMerges != 2 {
+		t.Errorf("merges = %d, want 2", s.MSHRMerges)
+	}
+}
+
+func TestCacheMSHRBackpressure(t *testing.T) {
+	q := clock.New()
+	be := &fakeBackend{q: q, latency: 10000}
+	cfg := l1Config()
+	cfg.MSHRs = 2
+	c, _ := New(cfg, q, be)
+	if !c.Access(0x0000, false, func() {}) {
+		t.Fatal("access 1 rejected")
+	}
+	if !c.Access(0x1000, false, func() {}) {
+		t.Fatal("access 2 rejected")
+	}
+	if c.Access(0x2000, false, func() {}) {
+		t.Error("access 3 must be rejected: MSHRs full")
+	}
+	if c.InFlight() != 2 {
+		t.Errorf("in flight = %d", c.InFlight())
+	}
+	if s := c.Stats(); s.Rejects != 1 {
+		t.Errorf("rejects = %d, want 1", s.Rejects)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	q := clock.New()
+	be := &fakeBackend{q: q, latency: 1}
+	// Tiny direct-ish cache: 1 KB, 2 ways, 128 B lines -> 4 sets.
+	cfg := Config{Name: "t", SizeKB: 1, Ways: 2, LineB: 128, MSHRs: 8, Latency: 1, Policy: WriteThrough}
+	c, _ := New(cfg, q, be)
+	// Three lines mapping to the same set (stride = sets*line = 512).
+	for _, a := range []uint64{0, 512, 1024} {
+		c.Access(a, false, func() {})
+		run(q, 100)
+	}
+	// Line 0 was LRU and must have been evicted: re-access misses.
+	before := c.Stats().Misses
+	c.Access(0, false, func() {})
+	run(q, 100)
+	if c.Stats().Misses != before+1 {
+		t.Error("LRU line not evicted")
+	}
+	// Line 1024 (MRU) still resident.
+	beforeHits := c.Stats().Hits
+	c.Access(1024, false, func() {})
+	run(q, 100)
+	if c.Stats().Hits != beforeHits+1 {
+		t.Error("MRU line evicted")
+	}
+}
+
+func TestWriteThroughForwardsTraffic(t *testing.T) {
+	q := clock.New()
+	be := &fakeBackend{q: q, latency: 1}
+	c, _ := New(l1Config(), q, be)
+	done := false
+	c.Access(0x3000, true, func() { done = true })
+	run(q, 100)
+	if !done {
+		t.Error("store never completed")
+	}
+	if be.writes != 1 {
+		t.Errorf("downstream writes = %d, want 1", be.writes)
+	}
+	// Write-through no-allocate: a read after a write miss still misses.
+	c.Access(0x3000, false, func() {})
+	run(q, 100)
+	if c.Stats().Hits != 0 {
+		t.Error("write miss must not allocate in write-through cache")
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	q := clock.New()
+	be := &fakeBackend{q: q, latency: 1}
+	cfg := Config{Name: "L2", SizeKB: 1, Ways: 2, LineB: 128, MSHRs: 8, Latency: 1, Policy: WriteBack}
+	c, _ := New(cfg, q, be)
+	// Dirty a line, then evict it with two more lines in the same set.
+	c.Access(0, true, func() {})
+	run(q, 10)
+	if be.writes != 0 {
+		t.Fatal("write-back cache must not forward stores immediately")
+	}
+	c.Access(512, false, func() {})
+	run(q, 10)
+	c.Access(1024, false, func() {})
+	run(q, 10)
+	if be.writes != 1 {
+		t.Errorf("dirty eviction writes = %d, want 1", be.writes)
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().WriteBacks)
+	}
+}
+
+func TestWriteBackHitDirtiesLine(t *testing.T) {
+	q := clock.New()
+	be := &fakeBackend{q: q, latency: 1}
+	cfg := Config{Name: "L2", SizeKB: 1, Ways: 2, LineB: 128, MSHRs: 8, Latency: 1, Policy: WriteBack}
+	c, _ := New(cfg, q, be)
+	c.Access(0, false, func() {})
+	run(q, 10)
+	c.Access(0, true, func() {}) // hit, dirties
+	run(q, 10)
+	c.Flush()
+	run(q, 10)
+	if be.writes != 1 {
+		t.Errorf("flush writes = %d, want 1 dirty line", be.writes)
+	}
+}
+
+func TestCacheRetriesRejectedBackend(t *testing.T) {
+	q := clock.New()
+	be := &fakeBackend{q: q, latency: 1, reject: true}
+	cfg := l1Config()
+	cfg.Latency = 1
+	c, _ := New(cfg, q, be)
+	done := false
+	c.Access(0x100, false, func() { done = true })
+	run(q, 5)
+	be.reject = false // backend recovers
+	run(q, 100)
+	if !done {
+		t.Error("access never completed after backend recovered")
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	q := clock.New()
+	bad := []Config{
+		{Name: "a", SizeKB: 32, Ways: 4, LineB: 100, MSHRs: 1, Latency: 1},
+		{Name: "b", SizeKB: 0, Ways: 4, LineB: 128, MSHRs: 1, Latency: 1},
+		{Name: "c", SizeKB: 32, Ways: 0, LineB: 128, MSHRs: 1, Latency: 1},
+		{Name: "d", SizeKB: 1, Ways: 16, LineB: 1024, MSHRs: 1, Latency: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, q, nil); err == nil {
+			t.Errorf("config %q must be rejected", cfg.Name)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package cacti provides an analytic SRAM area and power model in the
+// spirit of CACTI 6.5 [Muralimanohar et al. 2009], used to reproduce
+// Table 2: the area and power overheads of the operand log.
+//
+// The paper models the log as a single-ported SRAM at the 40 nm node,
+// applies a 1.5x factor for control logic, and compares against a
+// 16 mm^2 SM / 561 mm^2 GPU [Rogers et al. 2015] drawing 5.7 W per SM /
+// 130 W per chip [Gebhart et al. 2012], assuming the worst case of one
+// log write per cycle. This package implements a first-order
+// technology-scaled SRAM model calibrated to CACTI-class 40 nm numbers
+// and reproduces that methodology.
+package cacti
+
+import "fmt"
+
+// TechNode describes a manufacturing process for the SRAM model. Small
+// single-ported arrays are dominated by periphery (decoders, sense
+// amplifiers, drivers), so both area and power take the affine form
+// fixed-periphery + per-bit-array; the per-bit terms fold in array
+// overheads (the effective bit pitch of a small 40 nm array is several
+// times the raw 6T cell).
+type TechNode struct {
+	// NM is the feature size in nanometres.
+	NM float64
+	// PeripheryUM2 is the fixed periphery area.
+	PeripheryUM2 float64
+	// BitAreaUM2 is the effective per-bit array area (cell + local
+	// overheads).
+	BitAreaUM2 float64
+	// FixedAccessPJ is the access energy of the periphery (paid every
+	// access regardless of array size).
+	FixedAccessPJ float64
+	// BitPowerNW is the per-bit standing power: leakage plus worst-case
+	// bitline dynamic power at full toggle rate.
+	BitPowerNW float64
+}
+
+// Node40nm is the 40 nm node used throughout the paper's analysis,
+// calibrated against the CACTI 6.5 results the paper reports in Table 2
+// (the calibration is exact at 8 KB and 32 KB; the 16 and 20 KB rows
+// then fall out within 2%).
+var Node40nm = TechNode{
+	NM:            40,
+	PeripheryUM2:  64000,
+	BitAreaUM2:    0.716,
+	FixedAccessPJ: 49.4,
+	BitPowerNW:    301.5,
+}
+
+// SRAMConfig describes the modelled array.
+type SRAMConfig struct {
+	SizeBytes int
+	// AccessBytes is the width of one access (one operand log entry:
+	// 32 lanes x 8 B = 256 B).
+	AccessBytes int
+	// Ports is the number of read/write ports (1: the SM issues at most
+	// one memory instruction per cycle, Section 3.3).
+	Ports int
+	// ControlOverhead multiplies area and power for decoders, sense
+	// amplifiers and control logic (the paper uses 1.5).
+	ControlOverhead float64
+	Node            TechNode
+}
+
+// DefaultLogConfig returns the operand log array configuration for the
+// given size in KB.
+func DefaultLogConfig(sizeKB int) SRAMConfig {
+	return SRAMConfig{
+		SizeBytes:       sizeKB * 1024,
+		AccessBytes:     256,
+		Ports:           1,
+		ControlOverhead: 1.5,
+		Node:            Node40nm,
+	}
+}
+
+// AreaMM2 returns the array area in mm^2: periphery plus cell array,
+// times the control overhead factor.
+func (c SRAMConfig) AreaMM2() float64 {
+	bits := float64(c.SizeBytes * 8)
+	// Multi-porting grows the cell roughly linearly beyond one port.
+	portFactor := 1 + 0.7*float64(c.Ports-1)
+	um2 := (c.Node.PeripheryUM2 + bits*c.Node.BitAreaUM2*portFactor) * c.ControlOverhead
+	return um2 / 1e6
+}
+
+// StandingPowerW returns the array's size-dependent power (leakage plus
+// worst-case bitline toggling) in watts.
+func (c SRAMConfig) StandingPowerW() float64 {
+	bits := float64(c.SizeBytes * 8)
+	return bits * c.Node.BitPowerNW * c.ControlOverhead / 1e9
+}
+
+// AccessEnergyJ returns the periphery energy of one access in joules.
+func (c SRAMConfig) AccessEnergyJ() float64 {
+	return c.Node.FixedAccessPJ * c.ControlOverhead / 1e12
+}
+
+// PowerW returns the total power at the given access rate (accesses per
+// second). The paper assumes the worst case of one log write per cycle,
+// i.e. accessesPerSec = 1e9 at 1 GHz.
+func (c SRAMConfig) PowerW(accessesPerSec float64) float64 {
+	return c.StandingPowerW() + c.AccessEnergyJ()*accessesPerSec
+}
+
+// Baselines from the paper's methodology (Section 5.2).
+const (
+	// SMAreaMM2 and GPUAreaMM2 are the conservative area estimates from
+	// [Rogers et al. 2015] for a 16-SM chip.
+	SMAreaMM2  = 16.0
+	GPUAreaMM2 = 561.0
+	// SMPowerW and GPUPowerW are from [Gebhart et al. 2012].
+	SMPowerW  = 5.7
+	GPUPowerW = 130.0
+	// FrequencyHz is the worst-case access rate: one write per cycle.
+	FrequencyHz = 1e9
+)
+
+// Overheads is one row of Table 2.
+type Overheads struct {
+	LogKB        int
+	SMAreaPct    float64
+	GPUAreaPct   float64
+	SMPowerPct   float64
+	GPUPowerPct  float64
+	AreaMM2      float64
+	TotalPowerW  float64
+	AccessEnergy float64
+}
+
+// LogOverheads computes the Table 2 row for a log of the given size.
+// The log is per SM; the GPU has 16 of them.
+func LogOverheads(sizeKB int) (Overheads, error) {
+	if sizeKB <= 0 {
+		return Overheads{}, fmt.Errorf("cacti: log size %d KB", sizeKB)
+	}
+	cfg := DefaultLogConfig(sizeKB)
+	area := cfg.AreaMM2()
+	power := cfg.PowerW(FrequencyHz)
+	const numSMs = 16
+	return Overheads{
+		LogKB:        sizeKB,
+		AreaMM2:      area,
+		TotalPowerW:  power,
+		AccessEnergy: cfg.AccessEnergyJ(),
+		SMAreaPct:    100 * area / SMAreaMM2,
+		GPUAreaPct:   100 * area * numSMs / GPUAreaMM2,
+		SMPowerPct:   100 * power / SMPowerW,
+		GPUPowerPct:  100 * power * numSMs / GPUPowerW,
+	}, nil
+}
+
+// Table2 computes the paper's Table 2: overheads for 8, 16, 20 and
+// 32 KB logs.
+func Table2() ([]Overheads, error) {
+	var rows []Overheads
+	for _, kb := range []int{8, 16, 20, 32} {
+		r, err := LogOverheads(kb)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}

@@ -1,0 +1,92 @@
+package cacti
+
+import (
+	"math"
+	"testing"
+)
+
+// paperTable2 is Table 2 of the paper, in percent.
+var paperTable2 = map[int][4]float64{
+	8:  {1.04, 0.47, 1.82, 1.28},
+	16: {1.47, 0.67, 2.34, 1.64},
+	20: {1.67, 0.76, 2.61, 1.83},
+	32: {2.36, 1.08, 3.38, 2.37},
+}
+
+func within(got, want, tolPct float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want)/want <= tolPct/100
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		want, ok := paperTable2[r.LogKB]
+		if !ok {
+			t.Fatalf("unexpected row %d KB", r.LogKB)
+		}
+		got := [4]float64{r.SMAreaPct, r.GPUAreaPct, r.SMPowerPct, r.GPUPowerPct}
+		names := [4]string{"SM area", "GPU area", "SM power", "GPU power"}
+		for i := range got {
+			if !within(got[i], want[i], 3) {
+				t.Errorf("%d KB %s = %.2f%%, paper %.2f%% (>3%% off)",
+					r.LogKB, names[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOverheadsMonotonic(t *testing.T) {
+	prev := Overheads{}
+	for _, kb := range []int{4, 8, 16, 32, 64} {
+		r, err := LogOverheads(kb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.AreaMM2 <= prev.AreaMM2 || r.TotalPowerW <= prev.TotalPowerW {
+			t.Errorf("%d KB not larger than previous: %+v vs %+v", kb, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestHeadlineClaim(t *testing.T) {
+	// The abstract: "less than 1% area and 2% power overheads" for the
+	// 16 KB log that reaches 99.2% performance.
+	r, err := LogOverheads(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GPUAreaPct >= 1.0 {
+		t.Errorf("16 KB GPU area = %.2f%%, paper claims < 1%%", r.GPUAreaPct)
+	}
+	if r.GPUPowerPct >= 2.0 {
+		t.Errorf("16 KB GPU power = %.2f%%, paper claims < 2%%", r.GPUPowerPct)
+	}
+}
+
+func TestPortScalingAndValidation(t *testing.T) {
+	one := DefaultLogConfig(16)
+	two := one
+	two.Ports = 2
+	if two.AreaMM2() <= one.AreaMM2() {
+		t.Error("second port must cost area")
+	}
+	if _, err := LogOverheads(0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if one.PowerW(0) <= 0 {
+		t.Error("idle array must still leak")
+	}
+	if one.PowerW(1e9) <= one.PowerW(0) {
+		t.Error("active power must exceed idle power")
+	}
+}

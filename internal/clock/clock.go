@@ -1,0 +1,98 @@
+// Package clock provides the discrete-event backbone of the timing
+// simulator: a current cycle and a queue of scheduled callbacks. The SM
+// pipelines tick cycle by cycle; the memory system components (caches,
+// TLBs, DRAM, interconnect, host) schedule completions on the queue.
+// When every SM is idle the main loop skips directly to the next event
+// cycle, which makes fault-dominated phases cheap to simulate.
+package clock
+
+import "container/heap"
+
+type event struct {
+	cycle int64
+	seq   uint64 // FIFO order among same-cycle events
+	fn    func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Queue is the simulation clock and event queue. Not safe for
+// concurrent use; the whole timing simulation is single-threaded.
+type Queue struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+}
+
+// New returns a queue at cycle 0.
+func New() *Queue { return &Queue{} }
+
+// Now returns the current cycle.
+func (q *Queue) Now() int64 { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// At schedules fn to run at the given absolute cycle. Events scheduled
+// in the past run at the current cycle's drain. Same-cycle events run in
+// scheduling order.
+func (q *Queue) At(cycle int64, fn func()) {
+	if cycle < q.now {
+		cycle = q.now
+	}
+	q.seq++
+	heap.Push(&q.events, event{cycle: cycle, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (q *Queue) After(delay int64, fn func()) { q.At(q.now+delay, fn) }
+
+// RunDue runs every event scheduled at or before the current cycle,
+// including events those events schedule for the current cycle.
+func (q *Queue) RunDue() {
+	for len(q.events) > 0 && q.events[0].cycle <= q.now {
+		e := heap.Pop(&q.events).(event)
+		e.fn()
+	}
+}
+
+// Step advances the clock by one cycle and runs due events.
+func (q *Queue) Step() {
+	q.now++
+	q.RunDue()
+}
+
+// NextEvent returns the cycle of the earliest pending event.
+func (q *Queue) NextEvent() (int64, bool) {
+	if len(q.events) == 0 {
+		return 0, false
+	}
+	return q.events[0].cycle, true
+}
+
+// SkipTo advances the clock to the given cycle (never backwards),
+// running intermediate events at their own scheduled cycles so that
+// callbacks observe the correct Now. Used when all SMs are asleep.
+func (q *Queue) SkipTo(cycle int64) {
+	for len(q.events) > 0 && q.events[0].cycle <= cycle {
+		if c := q.events[0].cycle; c > q.now {
+			q.now = c
+		}
+		e := heap.Pop(&q.events).(event)
+		e.fn()
+	}
+	if cycle > q.now {
+		q.now = cycle
+	}
+}

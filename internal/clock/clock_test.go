@@ -1,0 +1,83 @@
+package clock
+
+import "testing"
+
+func TestEventOrdering(t *testing.T) {
+	q := New()
+	var order []int
+	q.At(5, func() { order = append(order, 5) })
+	q.At(2, func() { order = append(order, 2) })
+	q.At(2, func() { order = append(order, 20) }) // same-cycle FIFO
+	q.At(9, func() { order = append(order, 9) })
+	for q.Len() > 0 {
+		q.Step()
+	}
+	want := []int{2, 20, 5, 9}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	q := New()
+	fired := int64(-1)
+	q.SkipTo(10)
+	q.After(5, func() { fired = q.Now() })
+	q.SkipTo(20)
+	if fired != 15 {
+		t.Errorf("fired at %d, want 15", fired)
+	}
+}
+
+func TestPastEventsRunNow(t *testing.T) {
+	q := New()
+	q.SkipTo(100)
+	ran := false
+	q.At(50, func() { ran = true })
+	q.RunDue()
+	if !ran {
+		t.Error("past-scheduled event did not run")
+	}
+}
+
+func TestCascadingSameCycleEvents(t *testing.T) {
+	q := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			q.At(q.Now(), recurse)
+		}
+	}
+	q.At(3, recurse)
+	q.SkipTo(3)
+	if depth != 5 {
+		t.Errorf("cascade depth = %d, want 5", depth)
+	}
+}
+
+func TestNextEvent(t *testing.T) {
+	q := New()
+	if _, ok := q.NextEvent(); ok {
+		t.Error("empty queue reported an event")
+	}
+	q.At(42, func() {})
+	if c, ok := q.NextEvent(); !ok || c != 42 {
+		t.Errorf("NextEvent = %d,%v", c, ok)
+	}
+}
+
+func TestSkipToNeverGoesBack(t *testing.T) {
+	q := New()
+	q.SkipTo(10)
+	q.SkipTo(5)
+	if q.Now() != 10 {
+		t.Errorf("Now = %d, want 10", q.Now())
+	}
+}

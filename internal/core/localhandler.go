@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"gpues/internal/clock"
+	"gpues/internal/vm"
+)
+
+// LocalStats counts GPU-local fault handling activity.
+type LocalStats struct {
+	Handled     int64
+	PagesMapped int64
+	// SerialCycles accumulates time handler invocations waited for
+	// their SM's handler slot (intra-SM serialization).
+	SerialCycles int64
+}
+
+// LocalHandler is the GPU-resident page fault handler of use case 2
+// (Section 4.2): when a warp faults on a page with no physical backing,
+// it switches to system mode and runs the handler on its own SM —
+// allocating a physical page from the SM's partition of the GPU
+// physical space and updating the GPU page table — without interrupting
+// the CPU.
+//
+// Handler invocations proceed in parallel up to the effective handler
+// concurrency, which is where the throughput win over the single CPU
+// handler comes from. The measured per-invocation latency is 20 us
+// (Section 5.4), an order of magnitude above the CPU handler's, and the
+// GPU still wins on throughput under fault storms.
+// DefaultHandlerConcurrency returns the effective parallelism of the
+// GPU-local handler for a GPU of the given size: any faulting warp can
+// enter system mode, but the handlers serialize on the system-level
+// synchronization (Szymanski's lock around the shared page table
+// update, Section 4.2) and on shared allocator metadata, so the
+// measured scalability of the prototype handler corresponds to a small
+// effective concurrency — about one useful handler per five SMs
+// (3 for the paper's 16-SM configuration) — rather than one per warp.
+// Local handling therefore improves with the number of SMs
+// (Section 5.5).
+func DefaultHandlerConcurrency(numSMs int) int {
+	c := numSMs / 5
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+type LocalHandler struct {
+	q      *clock.Queue
+	as     *vm.AddressSpace
+	gran   uint64
+	cost   int64   // handler occupancy in cycles
+	free   []int64 // handler slot next-free cycles (global pool)
+	allocs []*vm.PhysAllocator
+	stats  LocalStats
+}
+
+// NewLocalHandler builds the handler for numSMs SMs, partitioning the
+// GPU physical allocator so concurrent handlers allocate without
+// contention (the paper's address space partitioning).
+func NewLocalHandler(q *clock.Queue, as *vm.AddressSpace, numSMs, granularity int,
+	handlerCycles int64, concurrency int) (*LocalHandler, error) {
+	if numSMs <= 0 || granularity <= 0 || handlerCycles <= 0 {
+		return nil, fmt.Errorf("core: bad local handler config (%d SMs, %d gran, %d cycles)",
+			numSMs, granularity, handlerCycles)
+	}
+	if concurrency <= 0 {
+		concurrency = DefaultHandlerConcurrency(numSMs)
+	}
+	allocs, err := as.GPUPhys.Partition(numSMs)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning GPU physical memory: %w", err)
+	}
+	return &LocalHandler{
+		q:      q,
+		as:     as,
+		gran:   uint64(granularity),
+		cost:   handlerCycles,
+		free:   make([]int64, concurrency),
+		allocs: allocs,
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (h *LocalHandler) Stats() LocalStats { return h.stats }
+
+// Service implements Resolver: it runs the handler on the faulting
+// warp's SM, allocating from that SM's partition.
+func (h *LocalHandler) Service(regionBase uint64, kind vm.FaultKind, smID int, done func()) {
+	if smID < 0 || smID >= len(h.allocs) {
+		smID = 0
+	}
+	// Pick the earliest-free handler slot.
+	best := 0
+	for i := 1; i < len(h.free); i++ {
+		if h.free[i] < h.free[best] {
+			best = i
+		}
+	}
+	now := h.q.Now()
+	start := now
+	if h.free[best] > start {
+		start = h.free[best]
+	}
+	h.stats.SerialCycles += start - now
+	h.free[best] = start + h.cost
+	h.q.At(start+h.cost, func() {
+		if err := h.mapRegion(regionBase, smID); err != nil {
+			panic(fmt.Sprintf("core: local fault resolution failed: %v", err))
+		}
+		h.stats.Handled++
+		done()
+	})
+}
+
+// mapRegion marks the region's pages GPU-owned and maps them from the
+// SM's private allocator partition.
+func (h *LocalHandler) mapRegion(regionBase uint64, smID int) error {
+	pageSize := h.as.PageSize()
+	for p := regionBase; p < regionBase+h.gran; p += pageSize {
+		if h.as.RegionOf(p) == nil {
+			continue
+		}
+		if _, err := h.as.MapToGPU(p, h.allocs[smID]); err != nil {
+			return err
+		}
+		h.stats.PagesMapped++
+	}
+	return nil
+}

@@ -1,0 +1,564 @@
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+)
+
+// DefaultMaxWarpInsts bounds the dynamic instructions emulated per warp,
+// to turn runaway kernels into errors instead of hangs.
+const DefaultMaxWarpInsts = 8 << 20
+
+// Emulator executes thread blocks of a kernel launch functionally and
+// produces their dynamic traces. One Emulator serves one launch; blocks
+// may be emulated lazily in any order (the order becomes the observed
+// inter-block interleaving for atomics).
+type Emulator struct {
+	launch   *kernel.Launch
+	mem      *Memory
+	lineSize uint64
+
+	// MaxWarpInsts bounds the dynamic instruction count per warp.
+	MaxWarpInsts int
+}
+
+// New returns an Emulator for the launch. lineSize is the cache line
+// size used by the coalescing unit (128 B in the baseline).
+func New(l *kernel.Launch, mem *Memory, lineSize int) (*Emulator, error) {
+	if err := l.Kernel.Validate(); err != nil {
+		return nil, err
+	}
+	if l.ThreadsPerBlock() <= 0 || l.ThreadsPerBlock() > 32*64 {
+		return nil, fmt.Errorf("emu: block of %d threads unsupported", l.ThreadsPerBlock())
+	}
+	if l.Blocks() <= 0 {
+		return nil, fmt.Errorf("emu: empty grid")
+	}
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("emu: line size %d not a power of two", lineSize)
+	}
+	return &Emulator{
+		launch:       l,
+		mem:          mem,
+		lineSize:     uint64(lineSize),
+		MaxWarpInsts: DefaultMaxWarpInsts,
+	}, nil
+}
+
+// Memory returns the functional memory the emulator executes against.
+func (e *Emulator) Memory() *Memory { return e.mem }
+
+// Launch returns the launch being emulated.
+func (e *Emulator) Launch() *kernel.Launch { return e.launch }
+
+type stackEntry struct {
+	pc, rpc int32
+	mask    uint32
+}
+
+type warpCtx struct {
+	id        int
+	regs      [][isa.MaxRegs]uint64 // per lane
+	stack     []stackEntry
+	exited    uint32
+	threads   uint32 // lanes that hold live threads (partial last warp)
+	atBarrier bool
+	done      bool
+	insts     int
+	trace     []TraceInst
+}
+
+// EmulateBlock executes thread block blockID to completion and returns
+// its trace. It is safe to call for each block exactly once per launch;
+// global memory side effects accumulate in the shared Memory.
+func (e *Emulator) EmulateBlock(blockID int) (*BlockTrace, error) {
+	if blockID < 0 || blockID >= e.launch.Blocks() {
+		return nil, fmt.Errorf("emu: block %d out of range [0,%d)", blockID, e.launch.Blocks())
+	}
+	threads := e.launch.ThreadsPerBlock()
+	numWarps := (threads + 31) / 32
+	sharedSize := e.launch.Kernel.SharedMemBytes
+	shared := make([]byte, sharedSize)
+
+	warps := make([]*warpCtx, numWarps)
+	for w := 0; w < numWarps; w++ {
+		lanes := 32
+		if rem := threads - w*32; rem < 32 {
+			lanes = rem
+		}
+		var tm uint32
+		if lanes == 32 {
+			tm = ^uint32(0)
+		} else {
+			tm = (1 << lanes) - 1
+		}
+		warps[w] = &warpCtx{
+			id:      w,
+			regs:    make([][isa.MaxRegs]uint64, 32),
+			stack:   []stackEntry{{pc: 0, rpc: -2, mask: tm}},
+			threads: tm,
+		}
+	}
+
+	// Round-robin warp execution, switching at barriers, until all warps
+	// are done. A pass with no progress means a malformed barrier.
+	for {
+		allDone := true
+		progress := false
+		for _, w := range warps {
+			if w.done {
+				continue
+			}
+			allDone = false
+			if w.atBarrier {
+				continue
+			}
+			before := w.insts
+			if err := e.runWarp(w, blockID, shared); err != nil {
+				return nil, fmt.Errorf("emu: block %d warp %d: %w", blockID, w.id, err)
+			}
+			if w.insts != before || w.done {
+				progress = true
+			}
+		}
+		if allDone {
+			break
+		}
+		// Release the barrier once every live warp has arrived.
+		arrived := true
+		for _, w := range warps {
+			if !w.done && !w.atBarrier {
+				arrived = false
+				break
+			}
+		}
+		if arrived {
+			for _, w := range warps {
+				w.atBarrier = false
+			}
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("emu: block %d deadlocked at a barrier (divergent __syncthreads?)", blockID)
+		}
+	}
+
+	bt := &BlockTrace{BlockID: blockID, Warps: make([]WarpTrace, numWarps)}
+	for w, ctx := range warps {
+		bt.Warps[w] = WarpTrace{WarpID: w, Insts: ctx.trace}
+		bt.DynInsts += len(ctx.trace)
+		for i := range ctx.trace {
+			ti := &ctx.trace[i]
+			if ti.Static.IsGlobalMem() {
+				bt.GlobalAccesses++
+				bt.MemRequests += len(ti.Lines)
+			}
+		}
+	}
+	return bt, nil
+}
+
+// runWarp executes the warp until it exits or reaches a barrier.
+func (e *Emulator) runWarp(w *warpCtx, blockID int, shared []byte) error {
+	code := e.launch.Kernel.Code
+	for {
+		if len(w.stack) == 0 {
+			w.done = true
+			return nil
+		}
+		top := &w.stack[len(w.stack)-1]
+		if top.rpc >= 0 && top.pc == top.rpc {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		active := top.mask &^ w.exited
+		if active == 0 {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		if top.pc < 0 || int(top.pc) >= len(code) {
+			return fmt.Errorf("pc %d out of range", top.pc)
+		}
+		w.insts++
+		max := e.MaxWarpInsts
+		if max == 0 {
+			max = DefaultMaxWarpInsts
+		}
+		if w.insts > max {
+			return fmt.Errorf("exceeded %d dynamic instructions (runaway loop?)", max)
+		}
+
+		in := &code[top.pc]
+		execMask := active
+		if in.Pred != isa.RegNone {
+			var pm uint32
+			for lane := 0; lane < 32; lane++ {
+				if active&(1<<lane) == 0 {
+					continue
+				}
+				p := e.readReg(w, lane, in.Pred)&1 != 0
+				if p != in.PredNeg {
+					pm |= 1 << lane
+				}
+			}
+			execMask = pm
+		}
+
+		ti := TraceInst{PC: top.pc, Static: in, Mask: execMask}
+
+		switch in.Op {
+		case isa.OpBra:
+			taken := execMask
+			notTaken := active &^ taken
+			w.trace = append(w.trace, ti)
+			switch {
+			case taken == 0:
+				top.pc++
+			case notTaken == 0:
+				top.pc = in.Target
+			default:
+				if in.Reconv < 0 {
+					return fmt.Errorf("pc %d: branch asserted warp-uniform diverged (taken=%08x)", top.pc, taken)
+				}
+				fall := top.pc + 1
+				top.mask = active
+				top.pc = in.Reconv
+				w.stack = append(w.stack,
+					stackEntry{pc: fall, rpc: in.Reconv, mask: notTaken},
+					stackEntry{pc: in.Target, rpc: in.Reconv, mask: taken},
+				)
+			}
+			continue
+
+		case isa.OpExit:
+			w.trace = append(w.trace, ti)
+			w.exited |= execMask
+			top.pc++
+			continue
+
+		case isa.OpBar:
+			w.trace = append(w.trace, ti)
+			top.pc++
+			w.atBarrier = true
+			return nil
+
+		case isa.OpLdGlobal, isa.OpStGlobal, isa.OpAtomGlobal, isa.OpLdShared, isa.OpStShared:
+			if err := e.execMem(w, in, execMask, blockID, shared, &ti); err != nil {
+				return fmt.Errorf("pc %d (%v): %w", top.pc, in, err)
+			}
+			w.trace = append(w.trace, ti)
+			top.pc++
+			continue
+
+		default:
+			for lane := 0; lane < 32; lane++ {
+				if execMask&(1<<lane) != 0 {
+					e.execALU(w, in, lane, blockID)
+				}
+			}
+			w.trace = append(w.trace, ti)
+			top.pc++
+			continue
+		}
+	}
+}
+
+func (e *Emulator) readReg(w *warpCtx, lane int, r isa.Reg) uint64 {
+	if r == isa.RZ || r == isa.RegNone {
+		return 0
+	}
+	return w.regs[lane][r]
+}
+
+func (e *Emulator) writeReg(w *warpCtx, lane int, r isa.Reg, v uint64) {
+	if r == isa.RZ || r == isa.RegNone {
+		return
+	}
+	w.regs[lane][r] = v
+}
+
+func f(v uint64) float64  { return math.Float64frombits(v) }
+func fb(v float64) uint64 { return math.Float64bits(v) }
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (e *Emulator) execALU(w *warpCtx, in *isa.Instruction, lane, blockID int) {
+	a := e.readReg(w, lane, in.SrcA)
+	b := e.readReg(w, lane, in.SrcB)
+	c := e.readReg(w, lane, in.SrcC)
+	var v uint64
+	switch in.Op {
+	case isa.OpNop:
+		return
+	case isa.OpIAdd:
+		v = a + b + uint64(in.Imm)
+	case isa.OpISub:
+		v = a - b
+	case isa.OpIMul:
+		if in.SrcB != isa.RZ && in.SrcB != isa.RegNone {
+			v = a * b
+		} else {
+			v = a * uint64(in.Imm)
+		}
+	case isa.OpIMad:
+		v = a*b + c
+	case isa.OpIMin:
+		if int64(a) < int64(b) {
+			v = a
+		} else {
+			v = b
+		}
+	case isa.OpIMax:
+		if int64(a) > int64(b) {
+			v = a
+		} else {
+			v = b
+		}
+	case isa.OpShl:
+		v = a << ((b + uint64(in.Imm)) & 63)
+	case isa.OpShr:
+		v = a >> ((b + uint64(in.Imm)) & 63)
+	case isa.OpAnd:
+		if in.SrcB != isa.RZ && in.SrcB != isa.RegNone {
+			v = a & b
+		} else {
+			v = a & uint64(in.Imm)
+		}
+	case isa.OpOr:
+		v = a | b | uint64(in.Imm)
+	case isa.OpXor:
+		v = a ^ b ^ uint64(in.Imm)
+	case isa.OpMov:
+		if in.SrcA != isa.RegNone {
+			v = a
+		} else {
+			v = uint64(in.Imm)
+		}
+	case isa.OpSetP:
+		v = boolVal(icmp(in.Cmp, int64(a), int64(b)+in.Imm))
+	case isa.OpFAdd:
+		v = fb(f(a) + f(b))
+	case isa.OpFSub:
+		v = fb(f(a) - f(b))
+	case isa.OpFMul:
+		v = fb(f(a) * f(b))
+	case isa.OpFFma:
+		v = fb(math.FMA(f(a), f(b), f(c)))
+	case isa.OpFMin:
+		v = fb(math.Min(f(a), f(b)))
+	case isa.OpFMax:
+		v = fb(math.Max(f(a), f(b)))
+	case isa.OpFSetP:
+		v = boolVal(fcmp(in.Cmp, f(a), f(b)))
+	case isa.OpI2F:
+		v = fb(float64(int64(a)))
+	case isa.OpF2I:
+		x := f(a)
+		if math.IsNaN(x) {
+			v = 0
+		} else {
+			v = uint64(int64(x))
+		}
+	case isa.OpFRcp:
+		v = fb(1 / f(a))
+	case isa.OpFSqrt:
+		v = fb(math.Sqrt(f(a)))
+	case isa.OpFRsqrt:
+		v = fb(1 / math.Sqrt(f(a)))
+	case isa.OpFExp:
+		v = fb(math.Exp2(f(a)))
+	case isa.OpFLog:
+		v = fb(math.Log2(f(a)))
+	case isa.OpFSin:
+		v = fb(math.Sin(f(a)))
+	case isa.OpFCos:
+		v = fb(math.Cos(f(a)))
+	case isa.OpS2R:
+		v = e.sreg(w, lane, isa.SReg(in.Imm), blockID)
+	case isa.OpLdParam:
+		v = e.launch.Kernel.Params[in.Imm]
+	default:
+		// Unknown ops execute as nop; Validate rejects them earlier.
+		return
+	}
+	e.writeReg(w, lane, in.Dst, v)
+}
+
+func icmp(c isa.Cmp, a, b int64) bool {
+	switch c {
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	case isa.CmpGE:
+		return a >= b
+	}
+	return false
+}
+
+func fcmp(c isa.Cmp, a, b float64) bool {
+	switch c {
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	case isa.CmpGE:
+		return a >= b
+	}
+	return false
+}
+
+func (e *Emulator) sreg(w *warpCtx, lane int, s isa.SReg, blockID int) uint64 {
+	bdimX := e.launch.Block.X
+	if bdimX == 0 {
+		bdimX = 1
+	}
+	gdimX := e.launch.Grid.X
+	if gdimX == 0 {
+		gdimX = 1
+	}
+	t := w.id*32 + lane
+	switch s {
+	case isa.SRTidX:
+		return uint64(t % bdimX)
+	case isa.SRTidY:
+		return uint64(t / bdimX)
+	case isa.SRCtaIDX:
+		return uint64(blockID % gdimX)
+	case isa.SRCtaIDY:
+		return uint64(blockID / gdimX)
+	case isa.SRNTidX:
+		return uint64(bdimX)
+	case isa.SRNTidY:
+		y := e.launch.Block.Y
+		if y == 0 {
+			y = 1
+		}
+		return uint64(y)
+	case isa.SRGridDimX:
+		return uint64(gdimX)
+	case isa.SRGridDimY:
+		y := e.launch.Grid.Y
+		if y == 0 {
+			y = 1
+		}
+		return uint64(y)
+	case isa.SRLaneID:
+		return uint64(lane)
+	case isa.SRWarpID:
+		return uint64(w.id)
+	}
+	return 0
+}
+
+func (e *Emulator) execMem(w *warpCtx, in *isa.Instruction, mask uint32, blockID int, shared []byte, ti *TraceInst) error {
+	size := int(in.Size)
+	var addrs [32]uint64
+	for lane := 0; lane < 32; lane++ {
+		if mask&(1<<lane) != 0 {
+			addrs[lane] = e.readReg(w, lane, in.SrcA) + uint64(in.Imm)
+		}
+	}
+
+	switch in.Op {
+	case isa.OpLdShared, isa.OpStShared:
+		for lane := 0; lane < 32; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			off := addrs[lane]
+			if off+uint64(size) > uint64(len(shared)) {
+				return fmt.Errorf("shared access at %d beyond %d B partition", off, len(shared))
+			}
+			if in.Op == isa.OpLdShared {
+				var v uint64
+				for i := 0; i < size; i++ {
+					v |= uint64(shared[off+uint64(i)]) << (8 * i)
+				}
+				e.writeReg(w, lane, in.Dst, v)
+			} else {
+				v := e.readReg(w, lane, in.SrcB)
+				for i := 0; i < size; i++ {
+					shared[off+uint64(i)] = byte(v >> (8 * i))
+				}
+			}
+		}
+		if mask != 0 {
+			ti.Lines = coalesce(nil, &addrs, mask, size, e.lineSize)
+		}
+		return nil
+
+	case isa.OpLdGlobal:
+		for lane := 0; lane < 32; lane++ {
+			if mask&(1<<lane) != 0 {
+				e.writeReg(w, lane, in.Dst, e.mem.Read(addrs[lane], size))
+			}
+		}
+	case isa.OpStGlobal:
+		for lane := 0; lane < 32; lane++ {
+			if mask&(1<<lane) != 0 {
+				e.mem.Write(addrs[lane], size, e.readReg(w, lane, in.SrcB))
+			}
+		}
+	case isa.OpAtomGlobal:
+		for lane := 0; lane < 32; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			v := e.readReg(w, lane, in.SrcB)
+			cmp := e.readReg(w, lane, in.SrcC)
+			old := e.mem.Atom(addrs[lane], size, func(o uint64) (uint64, bool) {
+				switch in.Atom {
+				case isa.AtomAdd:
+					return o + v, true
+				case isa.AtomMax:
+					if int64(v) > int64(o) {
+						return v, true
+					}
+					return o, false
+				case isa.AtomMin:
+					if int64(v) < int64(o) {
+						return v, true
+					}
+					return o, false
+				case isa.AtomExch:
+					return v, true
+				case isa.AtomCAS:
+					if o == cmp {
+						return v, true
+					}
+					return o, false
+				case isa.AtomAnd:
+					return o & v, true
+				case isa.AtomOr:
+					return o | v, true
+				}
+				return o, false
+			})
+			e.writeReg(w, lane, in.Dst, old)
+		}
+	}
+	if mask != 0 {
+		ti.Lines = coalesce(nil, &addrs, mask, size, e.lineSize)
+	}
+	return nil
+}

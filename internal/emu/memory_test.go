@@ -1,0 +1,130 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.WriteU64(0x1000, 0xdeadbeefcafebabe)
+	if got := m.ReadU64(0x1000); got != 0xdeadbeefcafebabe {
+		t.Errorf("ReadU64 = %#x", got)
+	}
+	m.WriteU32(0x2000, 0x12345678)
+	if got := m.ReadU32(0x2000); got != 0x12345678 {
+		t.Errorf("ReadU32 = %#x", got)
+	}
+	if got := m.Read(0x2000, 2); got != 0x5678 {
+		t.Errorf("Read 2 bytes = %#x", got)
+	}
+	if got := m.Read(0x2002, 2); got != 0x1234 {
+		t.Errorf("Read upper 2 bytes = %#x", got)
+	}
+}
+
+func TestMemoryUnwrittenReadsZeroWithoutAllocating(t *testing.T) {
+	m := NewMemory()
+	if got := m.ReadU64(0x123456789); got != 0 {
+		t.Errorf("unwritten read = %#x, want 0", got)
+	}
+	if m.AllocatedBytes() != 0 {
+		t.Errorf("read materialized %d bytes", m.AllocatedBytes())
+	}
+	m.WriteU32(0x5000, 1)
+	if m.AllocatedBytes() != chunkSize {
+		t.Errorf("allocated = %d, want one chunk (%d)", m.AllocatedBytes(), chunkSize)
+	}
+}
+
+func TestMemoryCrossChunkAccess(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(chunkSize - 3) // 8-byte value straddling two chunks
+	m.WriteU64(addr, 0x0102030405060708)
+	if got := m.ReadU64(addr); got != 0x0102030405060708 {
+		t.Errorf("cross-chunk ReadU64 = %#x", got)
+	}
+	// Partial reads on each side agree byte-wise.
+	if got := m.Read(addr, 1); got != 0x08 {
+		t.Errorf("first byte = %#x", got)
+	}
+	if got := m.Read(addr+7, 1); got != 0x01 {
+		t.Errorf("last byte = %#x", got)
+	}
+}
+
+func TestMemoryFloatHelpers(t *testing.T) {
+	m := NewMemory()
+	m.WriteF64(64, 3.25)
+	if got := m.ReadF64(64); got != 3.25 {
+		t.Errorf("ReadF64 = %v", got)
+	}
+	m.WriteF32(128, 1.5)
+	if got := m.ReadF32(128); got != 1.5 {
+		t.Errorf("ReadF32 = %v", got)
+	}
+}
+
+func TestMemoryAtom(t *testing.T) {
+	m := NewMemory()
+	m.WriteU64(8, 40)
+	old := m.Atom(8, 8, func(o uint64) (uint64, bool) { return o + 2, true })
+	if old != 40 || m.ReadU64(8) != 42 {
+		t.Errorf("Atom add: old=%d new=%d", old, m.ReadU64(8))
+	}
+	old = m.Atom(8, 8, func(o uint64) (uint64, bool) { return 0, false })
+	if old != 42 || m.ReadU64(8) != 42 {
+		t.Errorf("Atom no-store: old=%d new=%d", old, m.ReadU64(8))
+	}
+}
+
+func TestMemoryFill(t *testing.T) {
+	m := NewMemory()
+	m.Fill(0x10000, 3*chunkSize)
+	if m.AllocatedBytes() < 3*chunkSize {
+		t.Errorf("Fill materialized %d bytes, want >= %d", m.AllocatedBytes(), 3*chunkSize)
+	}
+}
+
+// Property: any sequence of aligned writes is read back exactly
+// (last-writer-wins per address).
+func TestMemoryQuickWriteReadConsistency(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMemory()
+		shadow := make(map[uint64]uint64)
+		for i := 0; i < int(n); i++ {
+			addr := uint64(rng.Intn(1<<20)) &^ 7 // 8-byte aligned within 1 MiB
+			v := rng.Uint64()
+			m.WriteU64(addr, v)
+			shadow[addr] = v
+		}
+		for addr, v := range shadow {
+			if m.ReadU64(addr) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: byte-granularity writes compose into the same value as one
+// word write.
+func TestMemoryQuickByteComposition(t *testing.T) {
+	prop := func(addr32 uint32, v uint64) bool {
+		addr := uint64(addr32)
+		m1, m2 := NewMemory(), NewMemory()
+		m1.WriteU64(addr, v)
+		for i := 0; i < 8; i++ {
+			m2.Write(addr+uint64(i), 1, v>>(8*i))
+		}
+		return m1.ReadU64(addr) == m2.ReadU64(addr)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+package emu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+)
+
+// This file cross-checks the emulator's ALU semantics against an
+// independent Go interpreter on randomly generated straight-line
+// programs. Any divergence between the two implementations is a bug in
+// one of them.
+
+// oracleExec interprets one instruction for a single lane over a plain
+// register array — deliberately written separately from the emulator.
+func oracleExec(in isa.Instruction, regs []uint64, lane, tid int) {
+	read := func(r isa.Reg) uint64 {
+		if r == isa.RZ || r == isa.RegNone {
+			return 0
+		}
+		return regs[r]
+	}
+	write := func(r isa.Reg, v uint64) {
+		if r != isa.RZ && r != isa.RegNone {
+			regs[r] = v
+		}
+	}
+	a, b, c := read(in.SrcA), read(in.SrcB), read(in.SrcC)
+	f := math.Float64frombits
+	fb := math.Float64bits
+	switch in.Op {
+	case isa.OpIAdd:
+		write(in.Dst, a+b+uint64(in.Imm))
+	case isa.OpISub:
+		write(in.Dst, a-b)
+	case isa.OpIMul:
+		if in.SrcB != isa.RZ && in.SrcB != isa.RegNone {
+			write(in.Dst, a*b)
+		} else {
+			write(in.Dst, a*uint64(in.Imm))
+		}
+	case isa.OpIMad:
+		write(in.Dst, a*b+c)
+	case isa.OpIMin:
+		if int64(a) < int64(b) {
+			write(in.Dst, a)
+		} else {
+			write(in.Dst, b)
+		}
+	case isa.OpIMax:
+		if int64(a) > int64(b) {
+			write(in.Dst, a)
+		} else {
+			write(in.Dst, b)
+		}
+	case isa.OpShl:
+		write(in.Dst, a<<((b+uint64(in.Imm))&63))
+	case isa.OpShr:
+		write(in.Dst, a>>((b+uint64(in.Imm))&63))
+	case isa.OpAnd:
+		if in.SrcB != isa.RZ && in.SrcB != isa.RegNone {
+			write(in.Dst, a&b)
+		} else {
+			write(in.Dst, a&uint64(in.Imm))
+		}
+	case isa.OpOr:
+		write(in.Dst, a|b|uint64(in.Imm))
+	case isa.OpXor:
+		write(in.Dst, a^b^uint64(in.Imm))
+	case isa.OpMov:
+		if in.SrcA != isa.RegNone {
+			write(in.Dst, a)
+		} else {
+			write(in.Dst, uint64(in.Imm))
+		}
+	case isa.OpSetP:
+		lhs, rhs := int64(a), int64(b)+in.Imm
+		var ok bool
+		switch in.Cmp {
+		case isa.CmpEQ:
+			ok = lhs == rhs
+		case isa.CmpNE:
+			ok = lhs != rhs
+		case isa.CmpLT:
+			ok = lhs < rhs
+		case isa.CmpLE:
+			ok = lhs <= rhs
+		case isa.CmpGT:
+			ok = lhs > rhs
+		case isa.CmpGE:
+			ok = lhs >= rhs
+		}
+		if ok {
+			write(in.Dst, 1)
+		} else {
+			write(in.Dst, 0)
+		}
+	case isa.OpFAdd:
+		write(in.Dst, fb(f(a)+f(b)))
+	case isa.OpFSub:
+		write(in.Dst, fb(f(a)-f(b)))
+	case isa.OpFMul:
+		write(in.Dst, fb(f(a)*f(b)))
+	case isa.OpFFma:
+		write(in.Dst, fb(math.FMA(f(a), f(b), f(c))))
+	case isa.OpI2F:
+		write(in.Dst, fb(float64(int64(a))))
+	case isa.OpS2R:
+		switch isa.SReg(in.Imm) {
+		case isa.SRLaneID:
+			write(in.Dst, uint64(lane))
+		case isa.SRTidX:
+			write(in.Dst, uint64(tid))
+		}
+	}
+}
+
+// randALUProgram builds a random straight-line program over registers
+// r0..r15 plus an epilogue that stores every register to out.
+func randALUProgram(rng *rand.Rand, outBase uint64) (*kernel.Kernel, []isa.Instruction) {
+	const nRegs = 16
+	b := kernel.NewBuilder("fuzz")
+	po := b.AddParam(outBase)
+
+	regs := make([]isa.Reg, nRegs)
+	for i := range regs {
+		regs[i] = b.Reg()
+	}
+	var body []isa.Instruction
+
+	emit := func(in isa.Instruction) {
+		b.Emit(in)
+		body = append(body, in)
+	}
+	rreg := func() isa.Reg {
+		if rng.Intn(8) == 0 {
+			return isa.RZ
+		}
+		return regs[rng.Intn(nRegs)]
+	}
+
+	// Seed registers: lane id and small constants.
+	seed1 := isa.NewInstruction(isa.OpS2R)
+	seed1.Dst, seed1.Imm = regs[0], int64(isa.SRLaneID)
+	emit(seed1)
+	for i := 1; i < 4; i++ {
+		mv := isa.NewInstruction(isa.OpMov)
+		mv.Dst, mv.Imm = regs[i], rng.Int63n(1000)-500
+		emit(mv)
+	}
+	// Give a few registers float values for the FP ops.
+	for i := 4; i < 8; i++ {
+		mv := isa.NewInstruction(isa.OpMov)
+		mv.Dst = regs[i]
+		mv.Imm = int64(math.Float64bits(rng.Float64()*16 - 8))
+		emit(mv)
+	}
+
+	ops := []isa.Op{
+		isa.OpIAdd, isa.OpISub, isa.OpIMul, isa.OpIMad, isa.OpIMin, isa.OpIMax,
+		isa.OpShl, isa.OpShr, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpMov,
+		isa.OpSetP, isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFFma, isa.OpI2F,
+	}
+	for i := 0; i < 60; i++ {
+		in := isa.NewInstruction(ops[rng.Intn(len(ops))])
+		in.Dst = regs[rng.Intn(nRegs)]
+		in.SrcA = rreg()
+		switch in.Op {
+		case isa.OpIMad, isa.OpFFma:
+			in.SrcB = rreg()
+			in.SrcC = rreg()
+		case isa.OpMov:
+			if rng.Intn(2) == 0 {
+				in.SrcA = isa.RegNone
+				in.Imm = rng.Int63n(4096)
+			}
+		case isa.OpShl, isa.OpShr:
+			in.SrcB = isa.RZ
+			in.Imm = rng.Int63n(63)
+		case isa.OpSetP:
+			in.SrcB = rreg()
+			in.Imm = rng.Int63n(64) - 32
+			in.Cmp = isa.Cmp(rng.Intn(6))
+		case isa.OpI2F:
+			// unary
+		default:
+			in.SrcB = rreg()
+			if rng.Intn(2) == 0 {
+				in.Imm = rng.Int63n(100)
+			}
+		}
+		emit(in)
+	}
+
+	// Epilogue: store all registers (outside the oracle's scope).
+	addr := b.Reg()
+	lane := b.Reg()
+	b.S2R(lane, isa.SRLaneID)
+	b.LoadParam(addr, po)
+	b.IMul(lane, lane, isa.RZ, nRegs*8)
+	b.IAdd(addr, addr, lane, 0)
+	for i := 0; i < nRegs; i++ {
+		b.StGlobal(addr, int64(i*8), regs[i], 8)
+	}
+	b.Exit()
+	return b.MustBuild(), body
+}
+
+func TestEmulatorMatchesOracle(t *testing.T) {
+	const outBase = uint64(0x100000)
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k, body := randALUProgram(rng, outBase)
+		mem := NewMemory()
+		l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: 1}, Block: kernel.Dim3{X: 32}}
+		e, err := New(l, mem, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.EmulateBlock(0); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Oracle: run the body per lane.
+		for lane := 0; lane < 32; lane++ {
+			regs := make([]uint64, isa.MaxRegs)
+			for _, in := range body {
+				oracleExec(in, regs, lane, lane)
+			}
+			for r := 0; r < 16; r++ {
+				got := mem.ReadU64(outBase + uint64(lane*16*8+r*8))
+				if got != regs[r] {
+					t.Fatalf("seed %d lane %d r%d: emulator %#x, oracle %#x",
+						seed, lane, r, got, regs[r])
+				}
+			}
+		}
+	}
+}

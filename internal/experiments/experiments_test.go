@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The full suites run via cmd/experiments; tests here exercise the
+// harness machinery on single-benchmark subsets.
+
+func TestFig10SubsetShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	r, err := Fig10(Options{Scale: 1, Benchmarks: []string{"mri-q"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "fig10" || len(r.Rows) != 1 {
+		t.Fatalf("result = %+v", r)
+	}
+	row := r.Rows[0]
+	wd := row.Values["wd-commit"]
+	lc := row.Values["wd-lastcheck"]
+	rq := row.Values["replay-queue"]
+	if wd <= 0 || lc <= 0 || rq <= 0 {
+		t.Fatalf("missing values: %+v", row.Values)
+	}
+	// The ordering invariant of Section 5.2: baseline >= rq >= lc >= wd
+	// (small tolerance for structural noise).
+	if wd > lc*1.02 || lc > rq*1.02 || rq > 1.02 {
+		t.Errorf("scheme ordering violated: wd=%.3f lc=%.3f rq=%.3f", wd, lc, rq)
+	}
+	if g := r.Geomean["wd-commit"]; g != wd {
+		t.Errorf("single-row geomean = %v, want %v", g, wd)
+	}
+}
+
+func TestFig13SubsetRouting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	r, err := Fig13(Options{Scale: 1, Benchmarks: []string{"halloc-spree"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv := r.Rows[0].Values["nvlink"]
+	pc := r.Rows[0].Values["pcie"]
+	if nv <= 1 {
+		t.Errorf("local handling of halloc-spree must win on NVLink, got %.3f", nv)
+	}
+	if pc <= nv {
+		t.Errorf("PCIe speedup (%.3f) must exceed NVLink's (%.3f): higher fault cost, more contention", pc, nv)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var lines []string
+	_, err := Fig10(Options{
+		Scale:      1,
+		Benchmarks: []string{"mri-q"},
+		Progress:   func(s string) { lines = append(lines, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 schemes = 4 runs.
+	if len(lines) != 4 {
+		t.Errorf("progress lines = %d, want 4", len(lines))
+	}
+}
+
+func TestUnknownBenchmarkFails(t *testing.T) {
+	if _, err := Fig10(Options{Benchmarks: []string{"nope"}}); err == nil {
+		t.Fatal("unknown benchmark must fail")
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"16 SMs", "64 page table walkers", "256 GB/s", "64 KB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{
+		ID:      "figX",
+		Title:   "test",
+		Metric:  "ratio",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Benchmark: "w1", Values: map[string]float64{"a": 1.5, "b": 0.5}},
+			{Benchmark: "w2", Values: map[string]float64{"a": 2.0, "b": 0.5}},
+		},
+		Geomean: map[string]float64{},
+	}
+	for _, c := range r.Columns {
+		r.Geomean[c] = geomean(r.Rows, c)
+	}
+	out := r.String()
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "geomean") {
+		t.Errorf("rendered:\n%s", out)
+	}
+	// geomean(1.5, 2.0) = sqrt(3).
+	if g := r.Geomean["a"]; g < 1.73 || g > 1.74 {
+		t.Errorf("geomean a = %v, want ~1.732", g)
+	}
+	if g := r.Geomean["b"]; g != 0.5 {
+		t.Errorf("geomean b = %v, want 0.5", g)
+	}
+}
+
+func TestGeomeanSkipsZeros(t *testing.T) {
+	rows := []Row{
+		{Benchmark: "w1", Values: map[string]float64{"a": 2.0}},
+		{Benchmark: "w2", Values: map[string]float64{}}, // missing
+	}
+	if g := geomean(rows, "a"); g != 2.0 {
+		t.Errorf("geomean = %v, want 2.0 (missing values skipped)", g)
+	}
+	if g := geomean(nil, "a"); g != 0 {
+		t.Errorf("empty geomean = %v, want 0", g)
+	}
+}

@@ -1,0 +1,304 @@
+// Package gpualloc implements a Halloc-style high-throughput dynamic
+// memory allocator for the GPU device heap [Adinetz & Pleiter 2014],
+// the allocator whose benchmark suite the paper uses to evaluate local
+// fault handling (Section 5.4, Figure 13).
+//
+// The design follows Halloc's structure: the heap is carved into fixed
+// 1 MiB superblocks; each superblock is dedicated to one size class and
+// subdivided into equal chunks tracked by a lock-free occupancy bitmap.
+// Allocation hashes the requesting thread onto a bitmap word and claims
+// a free bit with an atomic step sequence, so concurrent threads spread
+// across the bitmap instead of contending on a single head pointer.
+// Allocations larger than the biggest size class fall back to a
+// coarse-grained superblock-granular path.
+//
+// Why this exists in Go rather than in the simulated ISA: the paper's
+// Figure 13 workloads need the *address stream* of dynamic allocation —
+// scattered first touches of heap pages — not the allocator's own
+// instruction timing (the fault handling cost is the measured 20 us
+// constant). Workload builders call this allocator while generating
+// kernels, and the kernels then touch the returned addresses, faulting
+// exactly like device-malloc code would. The allocator is nonetheless a
+// faithful concurrent implementation, safe for parallel use.
+package gpualloc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// SuperblockSize is the granularity at which the heap is carved up.
+const SuperblockSize = 1 << 20
+
+// sizeClasses are the chunk sizes served by slab superblocks.
+var sizeClasses = []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// MaxSlabAlloc is the largest request served from slabs; larger
+// requests take whole superblocks.
+const MaxSlabAlloc = 4096
+
+type superblock struct {
+	base   uint64
+	class  int // index into sizeClasses, -1 for large allocations
+	chunks int
+	words  []atomic.Uint64 // occupancy bitmap
+	used   atomic.Int64
+}
+
+// Allocator is a device-heap allocator over a virtual address range.
+type Allocator struct {
+	base uint64
+	size uint64
+
+	mu     sync.Mutex // guards superblock creation / recycling only
+	nextSB uint64
+	freeSB []uint64
+	// slabs[class] is the list of superblocks serving that class.
+	slabs  [][]*superblock
+	large  map[uint64]int // base -> superblock count, for large allocs
+	byBase map[uint64]*superblock
+
+	allocs atomic.Int64
+	frees  atomic.Int64
+}
+
+// New builds an allocator over [base, base+size). Size must be a
+// multiple of the superblock size.
+func New(base, size uint64) (*Allocator, error) {
+	if size == 0 || size%SuperblockSize != 0 {
+		return nil, fmt.Errorf("gpualloc: heap size %d not a positive multiple of %d", size, SuperblockSize)
+	}
+	if base%SuperblockSize != 0 {
+		return nil, fmt.Errorf("gpualloc: heap base %#x not superblock-aligned", base)
+	}
+	return &Allocator{
+		base:   base,
+		size:   size,
+		nextSB: base,
+		slabs:  make([][]*superblock, len(sizeClasses)),
+		large:  make(map[uint64]int),
+		byBase: make(map[uint64]*superblock),
+	}, nil
+}
+
+// Base returns the heap's base address.
+func (a *Allocator) Base() uint64 { return a.base }
+
+// Size returns the heap size in bytes.
+func (a *Allocator) Size() uint64 { return a.size }
+
+// LiveAllocs returns the number of outstanding allocations.
+func (a *Allocator) LiveAllocs() int64 { return a.allocs.Load() - a.frees.Load() }
+
+func classFor(size int) int {
+	for i, c := range sizeClasses {
+		if size <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// newSuperblock carves a run of n fresh superblocks.
+func (a *Allocator) newSuperblock(n uint64) (uint64, error) {
+	// Reuse a recycled superblock when a single one is needed.
+	if n == 1 && len(a.freeSB) > 0 {
+		b := a.freeSB[len(a.freeSB)-1]
+		a.freeSB = a.freeSB[:len(a.freeSB)-1]
+		return b, nil
+	}
+	need := n * SuperblockSize
+	if a.nextSB+need > a.base+a.size {
+		return 0, fmt.Errorf("gpualloc: out of device heap (%d of %d bytes used)",
+			a.nextSB-a.base, a.size)
+	}
+	b := a.nextSB
+	a.nextSB += need
+	return b, nil
+}
+
+// Alloc returns the device address of a new allocation of the given
+// size, like device-side malloc. Safe for concurrent use.
+func (a *Allocator) Alloc(thread int, size int) (uint64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("gpualloc: allocation of %d bytes", size)
+	}
+	class := classFor(size)
+	if class < 0 {
+		return a.allocLarge(size)
+	}
+	for {
+		sb := a.pickSuperblock(class)
+		if addr, ok := sb.claim(thread); ok {
+			a.allocs.Add(1)
+			return addr, nil
+		}
+		// Superblock full: grow the class.
+		if err := a.growClass(class, sb); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// pickSuperblock returns a superblock of the class with expected free
+// space, creating the first one on demand. Threads spread over the
+// class's superblocks by hashing.
+func (a *Allocator) pickSuperblock(class int) *superblock {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	list := a.slabs[class]
+	// Prefer the emptiest superblock of the class.
+	var best *superblock
+	for _, sb := range list {
+		if best == nil || sb.used.Load() < best.used.Load() {
+			best = sb
+		}
+	}
+	if best != nil && best.used.Load() < int64(best.chunks) {
+		return best
+	}
+	sb, err := a.addSuperblockLocked(class)
+	if err != nil && best != nil {
+		return best // let the caller observe fullness and fail upward
+	}
+	if err != nil {
+		// Out of heap entirely: return a dummy full superblock so the
+		// caller's claim fails and growClass reports the error.
+		return &superblock{class: class}
+	}
+	return sb
+}
+
+func (a *Allocator) addSuperblockLocked(class int) (*superblock, error) {
+	base, err := a.newSuperblock(1)
+	if err != nil {
+		return nil, err
+	}
+	chunk := sizeClasses[class]
+	chunks := SuperblockSize / chunk
+	sb := &superblock{
+		base:   base,
+		class:  class,
+		chunks: chunks,
+		words:  make([]atomic.Uint64, (chunks+63)/64),
+	}
+	a.slabs[class] = append(a.slabs[class], sb)
+	a.byBase[base] = sb
+	return sb, nil
+}
+
+func (a *Allocator) growClass(class int, full *superblock) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Another thread may have grown the class already.
+	for _, sb := range a.slabs[class] {
+		if sb != full && sb.used.Load() < int64(sb.chunks) {
+			return nil
+		}
+	}
+	_, err := a.addSuperblockLocked(class)
+	return err
+}
+
+// claim finds and sets a free bit, starting from a hash of the thread
+// id (Halloc's contention-spreading trick).
+func (sb *superblock) claim(thread int) (uint64, bool) {
+	if sb.chunks == 0 {
+		return 0, false
+	}
+	if sb.used.Load() >= int64(sb.chunks) {
+		return 0, false
+	}
+	n := len(sb.words)
+	start := (thread * 2654435761) % n
+	if start < 0 {
+		start += n
+	}
+	for i := 0; i < n; i++ {
+		w := &sb.words[(start+i)%n]
+		for {
+			old := w.Load()
+			if old == ^uint64(0) {
+				break // word full
+			}
+			bit := freeBit(old, (start+i)%n, sb.chunks)
+			if bit < 0 {
+				break
+			}
+			if w.CompareAndSwap(old, old|(1<<uint(bit))) {
+				sb.used.Add(1)
+				idx := ((start+i)%n)*64 + bit
+				return sb.base + uint64(idx*sizeClasses[sb.class]), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// freeBit returns the lowest clear bit of w that maps to a valid chunk,
+// or -1.
+func freeBit(w uint64, wordIdx, chunks int) int {
+	for b := 0; b < 64; b++ {
+		if w&(1<<uint(b)) == 0 {
+			if wordIdx*64+b < chunks {
+				return b
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+func (a *Allocator) allocLarge(size int) (uint64, error) {
+	n := uint64((size + SuperblockSize - 1) / SuperblockSize)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	base, err := a.newSuperblock(n)
+	if err != nil {
+		return 0, err
+	}
+	a.large[base] = int(n)
+	a.allocs.Add(1)
+	return base, nil
+}
+
+// Free releases an allocation returned by Alloc. Safe for concurrent
+// use.
+func (a *Allocator) Free(addr uint64) error {
+	sbBase := addr &^ (SuperblockSize - 1)
+	a.mu.Lock()
+	if n, ok := a.large[sbBase]; ok && addr == sbBase {
+		delete(a.large, sbBase)
+		for i := 0; i < n; i++ {
+			a.freeSB = append(a.freeSB, sbBase+uint64(i*SuperblockSize))
+		}
+		a.mu.Unlock()
+		a.frees.Add(1)
+		return nil
+	}
+	sb := a.byBase[sbBase]
+	a.mu.Unlock()
+	if sb == nil {
+		return fmt.Errorf("gpualloc: free of unallocated address %#x", addr)
+	}
+	chunk := sizeClasses[sb.class]
+	off := addr - sb.base
+	if off%uint64(chunk) != 0 {
+		return fmt.Errorf("gpualloc: free of misaligned address %#x (class %d)", addr, chunk)
+	}
+	idx := int(off) / chunk
+	w := &sb.words[idx/64]
+	mask := uint64(1) << uint(idx%64)
+	for {
+		old := w.Load()
+		if old&mask == 0 {
+			return fmt.Errorf("gpualloc: double free of %#x", addr)
+		}
+		if w.CompareAndSwap(old, old&^mask) {
+			sb.used.Add(-1)
+			a.frees.Add(1)
+			return nil
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package gpualloc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newAlloc(t *testing.T, superblocks int) *Allocator {
+	t.Helper()
+	a, err := New(0x10000000, uint64(superblocks)*SuperblockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAllocBasic(t *testing.T) {
+	a := newAlloc(t, 4)
+	p1, err := a.Alloc(0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Alloc(0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Error("duplicate allocation")
+	}
+	if p1 < a.Base() || p1 >= a.Base()+a.Size() {
+		t.Errorf("allocation %#x outside heap", p1)
+	}
+	if a.LiveAllocs() != 2 {
+		t.Errorf("live = %d, want 2", a.LiveAllocs())
+	}
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if a.LiveAllocs() != 1 {
+		t.Errorf("live after free = %d, want 1", a.LiveAllocs())
+	}
+}
+
+func TestAllocSizeClassAlignment(t *testing.T) {
+	a := newAlloc(t, 8)
+	for _, size := range []int{1, 16, 17, 100, 1000, 4096} {
+		p, err := a.Alloc(3, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Chunks are size-class aligned relative to the superblock.
+		off := p % SuperblockSize
+		class := classFor(size)
+		if off%uint64(sizeClasses[class]) != 0 {
+			t.Errorf("alloc(%d) at %#x not aligned to class %d", size, p, sizeClasses[class])
+		}
+	}
+}
+
+func TestLargeAllocation(t *testing.T) {
+	a := newAlloc(t, 8)
+	p, err := a.Alloc(0, 3*SuperblockSize/2) // 1.5 superblocks -> 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p%SuperblockSize != 0 {
+		t.Errorf("large allocation %#x not superblock aligned", p)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// Freed superblocks are recycled.
+	p2, err := a.Alloc(0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 < p || p2 >= p+2*SuperblockSize {
+		t.Logf("recycling note: alloc at %#x after freeing %#x", p2, p)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	a := newAlloc(t, 2)
+	p, _ := a.Alloc(0, 64)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err == nil {
+		t.Error("double free not detected")
+	}
+	if err := a.Free(0xdeadbeef); err == nil {
+		t.Error("free of wild pointer not detected")
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	a := newAlloc(t, 1)
+	// One superblock of 4 KiB chunks holds 256 allocations.
+	n := 0
+	for {
+		if _, err := a.Alloc(n, 4096); err != nil {
+			break
+		}
+		n++
+		if n > 10000 {
+			t.Fatal("allocator never exhausted a 1-superblock heap")
+		}
+	}
+	if n != SuperblockSize/4096 {
+		t.Errorf("allocations before exhaustion = %d, want %d", n, SuperblockSize/4096)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 12345); err == nil {
+		t.Error("unaligned size accepted")
+	}
+	if _, err := New(4096, SuperblockSize); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	a := newAlloc(t, 1)
+	if _, err := a.Alloc(0, 0); err == nil {
+		t.Error("zero-size allocation accepted")
+	}
+}
+
+// TestConcurrentNoOverlap: allocations from many goroutines never
+// overlap (the lock-free bitmap discipline works under contention).
+func TestConcurrentNoOverlap(t *testing.T) {
+	a := newAlloc(t, 32)
+	const (
+		workers   = 16
+		perWorker = 500
+	)
+	results := make([][]uint64, workers)
+	sizes := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				size := 16 << rng.Intn(6) // 16..512
+				p, err := a.Alloc(w*1000+i, size)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				results[w] = append(results[w], p)
+				sizes[w] = append(sizes[w], size)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	type span struct{ lo, hi uint64 }
+	var spans []span
+	for w := range results {
+		for i, p := range results[w] {
+			class := classFor(sizes[w][i])
+			spans = append(spans, span{p, p + uint64(sizeClasses[class])})
+		}
+	}
+	if len(spans) != workers*perWorker {
+		t.Fatalf("allocations = %d, want %d", len(spans), workers*perWorker)
+	}
+	seen := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		if seen[s.lo] {
+			t.Fatalf("overlapping allocation at %#x", s.lo)
+		}
+		seen[s.lo] = true
+	}
+}
+
+// TestConcurrentAllocFree: mixed alloc/free traffic stays consistent.
+func TestConcurrentAllocFree(t *testing.T) {
+	a := newAlloc(t, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var live []uint64
+			for i := 0; i < 1000; i++ {
+				if rng.Intn(3) != 0 || len(live) == 0 {
+					p, err := a.Alloc(w, 16<<rng.Intn(8))
+					if err != nil {
+						t.Errorf("alloc: %v", err)
+						return
+					}
+					live = append(live, p)
+				} else {
+					k := rng.Intn(len(live))
+					if err := a.Free(live[k]); err != nil {
+						t.Errorf("free: %v", err)
+						return
+					}
+					live = append(live[:k], live[k+1:]...)
+				}
+			}
+			for _, p := range live {
+				if err := a.Free(p); err != nil {
+					t.Errorf("final free: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.LiveAllocs() != 0 {
+		t.Errorf("live allocations after teardown = %d, want 0", a.LiveAllocs())
+	}
+}
+
+// Property: sequential alloc/free round trips preserve the invariant
+// live == allocs - frees and never produce overlapping chunks.
+func TestQuickAllocConsistency(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := New(0, 16*SuperblockSize)
+		live := map[uint64]int{}
+		for i := 0; i < 300; i++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				size := 16 << rng.Intn(9)
+				p, err := a.Alloc(i, size)
+				if err != nil {
+					return false
+				}
+				if _, dup := live[p]; dup {
+					return false
+				}
+				live[p] = size
+			} else {
+				for p := range live {
+					if a.Free(p) != nil {
+						return false
+					}
+					delete(live, p)
+					break
+				}
+			}
+		}
+		return a.LiveAllocs() == int64(len(live))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

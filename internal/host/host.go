@@ -1,0 +1,172 @@
+// Package host models the CPU side of the system: the global thread
+// block dispatcher (the host interface + thread block scheduler of
+// Figure 1) and the CPU page fault service of the baseline demand
+// paging flow (Figure 2), in which the GPU driver on the CPU allocates
+// GPU physical memory, transfers page contents, and updates both page
+// tables — one fault at a time.
+package host
+
+import (
+	"fmt"
+
+	"gpues/internal/clock"
+	"gpues/internal/config"
+	"gpues/internal/emu"
+	"gpues/internal/interconnect"
+	"gpues/internal/vm"
+)
+
+// Dispatcher issues thread blocks to SMs in block-ID order and emulates
+// each block lazily the first time it is handed out.
+type Dispatcher struct {
+	total   int
+	next    int
+	done    int
+	emulate func(blockID int) (*emu.BlockTrace, error)
+	err     error
+}
+
+// NewDispatcher builds a dispatcher over a grid of total blocks.
+// emulate produces the dynamic trace of one block.
+func NewDispatcher(total int, emulate func(int) (*emu.BlockTrace, error)) (*Dispatcher, error) {
+	if total <= 0 || emulate == nil {
+		return nil, fmt.Errorf("host: dispatcher needs blocks (%d) and an emulator", total)
+	}
+	return &Dispatcher{total: total, emulate: emulate}, nil
+}
+
+// NextBlock implements sm.BlockSource.
+func (d *Dispatcher) NextBlock(smID int) (*emu.BlockTrace, bool) {
+	if d.err != nil || d.next >= d.total {
+		return nil, false
+	}
+	bt, err := d.emulate(d.next)
+	if err != nil {
+		d.err = err
+		return nil, false
+	}
+	d.next++
+	return bt, true
+}
+
+// BlockDone implements sm.BlockSource.
+func (d *Dispatcher) BlockDone(smID, blockID int) { d.done++ }
+
+// PendingBlocks implements sm.BlockSource.
+func (d *Dispatcher) PendingBlocks() int { return d.total - d.next }
+
+// Completed returns the number of finished blocks.
+func (d *Dispatcher) Completed() int { return d.done }
+
+// AllDone reports whether every block of the grid has completed.
+func (d *Dispatcher) AllDone() bool { return d.done >= d.total }
+
+// Err returns any emulation error encountered while dispatching.
+func (d *Dispatcher) Err() error { return d.err }
+
+// FaultStats counts CPU-side fault service activity.
+type FaultStats struct {
+	Served      int64
+	Migrations  int64
+	AllocOnly   int64
+	PagesMapped int64
+	// QueueCycles accumulates the time fault requests spent waiting for
+	// the CPU handler to become free.
+	QueueCycles int64
+}
+
+// FaultService is the CPU driver's page fault handler: a single server
+// whose per-fault occupancy is the measured CPU handler cost, followed
+// by the interconnect round trip (and data transfer for dirty pages).
+// Faults are serviced in arrival order; under a fault storm the queueing
+// delay here is what makes CPU-side handling the bottleneck (Section
+// 2.4).
+type FaultService struct {
+	q     *clock.Queue
+	link  *interconnect.Link
+	as    *vm.AddressSpace
+	gran  uint64
+	costs config.FaultCosts
+	toCyc func(us float64) int64
+
+	cpuFree int64 // next cycle the CPU handler is free
+	stats   FaultStats
+}
+
+// NewFaultService builds the CPU fault service. toCycles converts
+// microseconds to core cycles.
+func NewFaultService(q *clock.Queue, link *interconnect.Link, as *vm.AddressSpace,
+	granularity int, costs config.FaultCosts, toCycles func(float64) int64) (*FaultService, error) {
+	if granularity <= 0 || toCycles == nil {
+		return nil, fmt.Errorf("host: bad fault service config")
+	}
+	return &FaultService{
+		q: q, link: link, as: as,
+		gran:  uint64(granularity),
+		costs: costs,
+		toCyc: toCycles,
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (s *FaultService) Stats() FaultStats { return s.stats }
+
+// Service resolves the fault handling region containing regionBase:
+// after the CPU handler and interconnect occupancy, every registered
+// page of the region is mapped into GPU memory, and done runs. The
+// caller (the GPU fault unit) is responsible for merging concurrent
+// faults to the same region.
+func (s *FaultService) Service(regionBase uint64, kind vm.FaultKind, smID int, done func()) {
+	total := s.costs.AllocOnlyUS
+	if kind == vm.FaultMigrate {
+		total = s.costs.MigrateUS
+		s.stats.Migrations++
+	} else {
+		s.stats.AllocOnly++
+	}
+	s.stats.Served++
+	totalCycles := s.toCyc(total)
+	linkCycles := totalCycles - s.toCyc(s.costs.CPUHandleUS)
+	if linkCycles < 1 {
+		linkCycles = 1
+	}
+
+	// The CPU driver handles faults strictly one by one (Section 2.4):
+	// the whole measured round trip — interrupt, pinning, allocation,
+	// transfer, page table updates — occupies the single handler. The
+	// interconnect occupancy runs within that window and is tracked for
+	// utilization accounting.
+	now := s.q.Now()
+	start := now
+	if s.cpuFree > start {
+		start = s.cpuFree
+	}
+	s.stats.QueueCycles += start - now
+	s.cpuFree = start + totalCycles
+	s.q.At(start, func() {
+		s.link.Occupy(linkCycles, func() {})
+	})
+	s.q.At(start+totalCycles, func() {
+		if err := s.mapRegion(regionBase); err != nil {
+			// Mapping can only fail on GPU memory exhaustion, which
+			// the modelled workloads never reach; surface loudly.
+			panic(fmt.Sprintf("host: fault resolution failed: %v", err))
+		}
+		done()
+	})
+}
+
+// mapRegion maps every registered page of the region into GPU memory.
+func (s *FaultService) mapRegion(regionBase uint64) error {
+	pageSize := s.as.PageSize()
+	for p := regionBase; p < regionBase+s.gran; p += pageSize {
+		if s.as.RegionOf(p) == nil {
+			continue // handling granularity may extend past the buffer
+		}
+		if _, err := s.as.MapToGPU(p, nil); err != nil {
+			return err
+		}
+		s.stats.PagesMapped++
+	}
+	return nil
+}

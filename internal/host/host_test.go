@@ -1,0 +1,193 @@
+package host
+
+import (
+	"errors"
+	"testing"
+
+	"gpues/internal/clock"
+	"gpues/internal/config"
+	"gpues/internal/emu"
+	"gpues/internal/interconnect"
+	"gpues/internal/vm"
+)
+
+func drain(q *clock.Queue) {
+	for q.Len() > 0 {
+		q.Step()
+	}
+}
+
+func TestDispatcherHandsBlocksInOrder(t *testing.T) {
+	emulated := []int{}
+	d, err := NewDispatcher(5, func(b int) (*emu.BlockTrace, error) {
+		emulated = append(emulated, b)
+		return &emu.BlockTrace{BlockID: b}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		bt, ok := d.NextBlock(i % 2)
+		if !ok || bt.BlockID != i {
+			t.Fatalf("block %d: got %v/%v", i, bt, ok)
+		}
+	}
+	if _, ok := d.NextBlock(0); ok {
+		t.Error("exhausted dispatcher handed out a block")
+	}
+	if d.PendingBlocks() != 0 {
+		t.Errorf("pending = %d", d.PendingBlocks())
+	}
+	for i := 0; i < 5; i++ {
+		if d.AllDone() {
+			t.Fatalf("AllDone before %d completions", i)
+		}
+		d.BlockDone(0, i)
+	}
+	if !d.AllDone() || d.Completed() != 5 {
+		t.Errorf("completed = %d, allDone = %v", d.Completed(), d.AllDone())
+	}
+	if len(emulated) != 5 {
+		t.Errorf("lazy emulation ran %d times, want 5", len(emulated))
+	}
+}
+
+func TestDispatcherPropagatesEmulationError(t *testing.T) {
+	boom := errors.New("boom")
+	d, _ := NewDispatcher(3, func(b int) (*emu.BlockTrace, error) {
+		if b == 1 {
+			return nil, boom
+		}
+		return &emu.BlockTrace{BlockID: b}, nil
+	})
+	if _, ok := d.NextBlock(0); !ok {
+		t.Fatal("first block failed")
+	}
+	if _, ok := d.NextBlock(0); ok {
+		t.Fatal("errored block handed out")
+	}
+	if !errors.Is(d.Err(), boom) {
+		t.Errorf("Err() = %v", d.Err())
+	}
+	if _, ok := d.NextBlock(0); ok {
+		t.Error("dispatcher must stay dead after an error")
+	}
+}
+
+func TestDispatcherValidation(t *testing.T) {
+	if _, err := NewDispatcher(0, func(int) (*emu.BlockTrace, error) { return nil, nil }); err == nil {
+		t.Error("zero blocks accepted")
+	}
+	if _, err := NewDispatcher(1, nil); err == nil {
+		t.Error("nil emulator accepted")
+	}
+}
+
+func newService(t *testing.T, q *clock.Queue) (*FaultService, *vm.AddressSpace, *interconnect.Link) {
+	t.Helper()
+	as, err := vm.NewAddressSpace(4096, 64<<20, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.AddRegion(vm.Region{Name: "in", Base: 0, Size: 1 << 20, Kind: vm.RegionCPUInit}); err != nil {
+		t.Fatal(err)
+	}
+	link, err := interconnect.New("nvlink", q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	svc, err := NewFaultService(q, link, as, 64*1024, config.NVLinkConfig().FaultCosts, cfg.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, as, link
+}
+
+func TestFaultServiceMigration(t *testing.T) {
+	q := clock.New()
+	svc, as, link := newService(t, q)
+	var doneAt int64 = -1
+	svc.Service(0x10000, vm.FaultMigrate, 0, func() { doneAt = q.Now() })
+	drain(q)
+	// NVLink migration: 12 us = 12000 cycles end to end.
+	if doneAt != 12000 {
+		t.Errorf("migration completed at %d, want 12000", doneAt)
+	}
+	// All 16 pages of the region are now GPU resident.
+	for p := uint64(0x10000); p < 0x20000; p += 4096 {
+		if as.Classify(p) != vm.FaultNone {
+			t.Errorf("page %#x not resident", p)
+		}
+	}
+	st := svc.Stats()
+	if st.Served != 1 || st.Migrations != 1 || st.PagesMapped != 16 {
+		t.Errorf("stats = %+v", st)
+	}
+	if link.Stats().Transfers != 1 {
+		t.Error("migration must occupy the interconnect")
+	}
+}
+
+func TestFaultServiceSerializesOneByOne(t *testing.T) {
+	q := clock.New()
+	svc, _, _ := newService(t, q)
+	var times []int64
+	for i := 0; i < 3; i++ {
+		svc.Service(uint64(i)<<16, vm.FaultMigrate, 0, func() { times = append(times, q.Now()) })
+	}
+	drain(q)
+	want := []int64{12000, 24000, 36000}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("fault %d resolved at %d, want %d (one-by-one handling)", i, times[i], want[i])
+		}
+	}
+	if svc.Stats().QueueCycles != 12000+24000 {
+		t.Errorf("queue cycles = %d, want 36000", svc.Stats().QueueCycles)
+	}
+}
+
+func TestFaultServiceAllocOnlyCheaper(t *testing.T) {
+	q := clock.New()
+	svc, as, _ := newService(t, q)
+	if err := as.AddRegion(vm.Region{Name: "out", Base: 1 << 20, Size: 1 << 20, Kind: vm.RegionLazy}); err != nil {
+		t.Fatal(err)
+	}
+	var doneAt int64
+	svc.Service(1<<20, vm.FaultAllocOnly, 0, func() { doneAt = q.Now() })
+	drain(q)
+	// NVLink alloc-only: 10 us.
+	if doneAt != 10000 {
+		t.Errorf("alloc-only completed at %d, want 10000", doneAt)
+	}
+	if svc.Stats().AllocOnly != 1 {
+		t.Errorf("stats = %+v", svc.Stats())
+	}
+}
+
+func TestFaultServiceSkipsUnregisteredPages(t *testing.T) {
+	q := clock.New()
+	svc, as, _ := newService(t, q)
+	// Region covering only half a 64 KB handling window.
+	if err := as.AddRegion(vm.Region{Name: "tail", Base: 1 << 20, Size: 32 * 1024, Kind: vm.RegionLazy}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Service(1<<20, vm.FaultAllocOnly, 0, func() {})
+	drain(q)
+	if got := svc.Stats().PagesMapped; got != 8 {
+		t.Errorf("pages mapped = %d, want 8 (half the window registered)", got)
+	}
+}
+
+func TestFaultServiceValidation(t *testing.T) {
+	q := clock.New()
+	link, _ := interconnect.New("x", q, 1)
+	cfg := config.Default()
+	if _, err := NewFaultService(q, link, nil, 0, config.FaultCosts{}, cfg.Cycles); err == nil {
+		t.Error("zero granularity accepted")
+	}
+	if _, err := NewFaultService(q, link, nil, 65536, config.FaultCosts{}, nil); err == nil {
+		t.Error("nil cycle converter accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Package interconnect models the CPU-GPU system link (NVLink or PCIe
+// 3.0) as a small number of transfer channels with occupancy: page
+// migration and fault signalling traffic queue for a free channel in
+// arrival order. The heavy contention of this link under concurrent
+// faults is what both use cases of the paper exploit or avoid.
+package interconnect
+
+import (
+	"fmt"
+
+	"gpues/internal/clock"
+)
+
+// Stats counts link activity.
+type Stats struct {
+	Transfers   int64
+	BusyCycles  int64
+	StallCycles int64 // time requests waited for a free channel
+}
+
+// Link is the CPU-GPU interconnect.
+type Link struct {
+	name     string
+	q        *clock.Queue
+	channels []int64 // nextFree cycle per channel
+	stats    Stats
+}
+
+// New builds a link with the given number of parallel channels.
+func New(name string, q *clock.Queue, channels int) (*Link, error) {
+	if channels <= 0 {
+		return nil, fmt.Errorf("interconnect %s: %d channels", name, channels)
+	}
+	return &Link{name: name, q: q, channels: make([]int64, channels)}, nil
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Stats returns a copy of the counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// Occupy reserves a channel for the given number of cycles and calls
+// done when the occupancy ends. Requests wait for the earliest-free
+// channel.
+func (l *Link) Occupy(cycles int64, done func()) {
+	if cycles <= 0 {
+		cycles = 1
+	}
+	now := l.q.Now()
+	best := 0
+	for i := 1; i < len(l.channels); i++ {
+		if l.channels[i] < l.channels[best] {
+			best = i
+		}
+	}
+	start := now
+	if l.channels[best] > start {
+		start = l.channels[best]
+	}
+	l.stats.Transfers++
+	l.stats.StallCycles += start - now
+	l.stats.BusyCycles += cycles
+	l.channels[best] = start + cycles
+	l.q.At(start+cycles, done)
+}
+
+// Utilization returns the fraction of cycles the link was busy over the
+// elapsed simulation time (capped at the channel count).
+func (l *Link) Utilization() float64 {
+	if l.q.Now() == 0 {
+		return 0
+	}
+	return float64(l.stats.BusyCycles) / float64(l.q.Now()*int64(len(l.channels)))
+}

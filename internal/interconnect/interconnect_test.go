@@ -1,0 +1,86 @@
+package interconnect
+
+import (
+	"testing"
+
+	"gpues/internal/clock"
+)
+
+func drain(q *clock.Queue) {
+	for q.Len() > 0 {
+		q.Step()
+	}
+}
+
+func TestSingleChannelSerializes(t *testing.T) {
+	q := clock.New()
+	l, err := New("pcie", q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []int64
+	for i := 0; i < 3; i++ {
+		l.Occupy(100, func() { times = append(times, q.Now()) })
+	}
+	drain(q)
+	want := []int64{100, 200, 300}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("occupancy %d ended at %d, want %d", i, times[i], want[i])
+		}
+	}
+	s := l.Stats()
+	if s.Transfers != 3 || s.BusyCycles != 300 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.StallCycles != 100+200 {
+		t.Errorf("stall cycles = %d, want 300", s.StallCycles)
+	}
+}
+
+func TestTwoChannelsOverlap(t *testing.T) {
+	q := clock.New()
+	l, _ := New("nvlink", q, 2)
+	var times []int64
+	for i := 0; i < 4; i++ {
+		l.Occupy(100, func() { times = append(times, q.Now()) })
+	}
+	drain(q)
+	// Two at a time: 100, 100, 200, 200.
+	if times[0] != 100 || times[1] != 100 || times[2] != 200 || times[3] != 200 {
+		t.Errorf("times = %v, want [100 100 200 200]", times)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	q := clock.New()
+	l, _ := New("x", q, 1)
+	l.Occupy(50, func() {})
+	drain(q)
+	q.SkipTo(100)
+	if u := l.Utilization(); u != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestZeroCycleOccupancyRoundsUp(t *testing.T) {
+	q := clock.New()
+	l, _ := New("x", q, 1)
+	fired := false
+	l.Occupy(0, func() { fired = true })
+	drain(q)
+	if !fired || q.Now() != 1 {
+		t.Errorf("zero occupancy fired=%v at %d", fired, q.Now())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	q := clock.New()
+	if _, err := New("bad", q, 0); err == nil {
+		t.Error("zero channels accepted")
+	}
+	l, _ := New("n", q, 2)
+	if l.Name() != "n" {
+		t.Errorf("Name = %q", l.Name())
+	}
+}

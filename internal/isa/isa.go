@@ -1,0 +1,382 @@
+// Package isa defines the instruction set of the modelled GPU. The ISA is
+// designed to mimic modern GPU ISAs (Section 5.1 of the paper): a large
+// unified register file, explicit management of the SIMT divergence
+// stack, fused multiply-add, and approximate complex math instructions
+// executed by a special function unit.
+//
+// Instructions are register-to-register with an optional immediate.
+// Branches carry an explicit reconvergence point (the immediate
+// post-dominator), which the kernel builder computes from the structured
+// control flow it emits; the functional emulator uses it to drive the
+// divergence stack.
+package isa
+
+import "fmt"
+
+// Reg identifies a general-purpose register. Registers hold 64-bit
+// values functionally; for occupancy accounting a register costs one
+// 32-bit register-file slot and pointer-sized values cost two (see
+// kernel.Metadata).
+type Reg int16
+
+// RegNone marks an unused operand slot.
+const RegNone Reg = -1
+
+// RZ is the hardwired zero register.
+const RZ Reg = 255
+
+// MaxRegs is the number of addressable registers per thread.
+const MaxRegs = 256
+
+// String formats the register the way the paper's examples do (R3, RZ).
+func (r Reg) String() string {
+	switch r {
+	case RegNone:
+		return "-"
+	case RZ:
+		return "RZ"
+	default:
+		return fmt.Sprintf("R%d", int16(r))
+	}
+}
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+const (
+	// OpNop does nothing for one pipeline pass.
+	OpNop Op = iota
+
+	// Integer ALU (math units).
+	OpIAdd // Rd = Ra + Rb + imm
+	OpISub // Rd = Ra - Rb
+	OpIMul // Rd = Ra * Rb
+	OpIMad // Rd = Ra * Rb + Rc
+	OpIMin // Rd = min(Ra, Rb) signed
+	OpIMax // Rd = max(Ra, Rb) signed
+	OpShl  // Rd = Ra << (Rb + imm)
+	OpShr  // Rd = Ra >> (Rb + imm) logical
+	OpAnd  // Rd = Ra & Rb&imm-combined
+	OpOr   // Rd = Ra | Rb | imm
+	OpXor  // Rd = Ra ^ Rb ^ imm
+	OpMov  // Rd = Ra (or imm when Ra == RegNone)
+	OpSetP // Rd = compare(Ra, Rb+imm) ? 1 : 0, per Cmp
+
+	// Floating point (math units). Values are float64 stored in the
+	// 64-bit register.
+	OpFAdd // Rd = Ra + Rb
+	OpFSub // Rd = Ra - Rb
+	OpFMul // Rd = Ra * Rb
+	OpFFma // Rd = Ra*Rb + Rc (fused)
+	OpFMin // Rd = min(Ra, Rb)
+	OpFMax // Rd = max(Ra, Rb)
+	OpFSetP
+	OpI2F // Rd = float(Ra) signed
+	OpF2I // Rd = int(Ra) truncating
+
+	// Special function unit (approximate complex math).
+	OpFRcp  // Rd = 1/Ra
+	OpFSqrt // Rd = sqrt(Ra)
+	OpFRsqrt
+	OpFExp // Rd = 2^Ra
+	OpFLog // Rd = log2(Ra)
+	OpFSin
+	OpFCos
+
+	// Special register and constant access (math units).
+	OpS2R // Rd = special register Imm (see SReg)
+	OpLdParam
+
+	// Memory (load/store pipeline). Global ops are the only ones that
+	// can page fault.
+	OpLdGlobal // Rd = mem[Ra + imm]
+	OpStGlobal // mem[Ra + imm] = Rb
+	OpAtomGlobal
+	OpLdShared // Rd = shared[Ra + imm]
+	OpStShared // shared[Ra + imm] = Rb
+
+	// Control flow (branch unit). Fetch of the warp is disabled after
+	// fetching any of these and re-enabled at their commit.
+	OpBra  // conditional/unconditional branch with reconvergence point
+	OpBar  // block-wide barrier
+	OpExit // thread exit
+
+	opCount
+)
+
+// Cmp selects the comparison performed by OpSetP/OpFSetP.
+type Cmp uint8
+
+const (
+	CmpEQ Cmp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// String returns the comparison mnemonic suffix.
+func (c Cmp) String() string {
+	switch c {
+	case CmpEQ:
+		return "eq"
+	case CmpNE:
+		return "ne"
+	case CmpLT:
+		return "lt"
+	case CmpLE:
+		return "le"
+	case CmpGT:
+		return "gt"
+	case CmpGE:
+		return "ge"
+	}
+	return fmt.Sprintf("cmp%d", uint8(c))
+}
+
+// AtomOp selects the read-modify-write performed by OpAtomGlobal.
+type AtomOp uint8
+
+const (
+	AtomAdd AtomOp = iota
+	AtomMax
+	AtomMin
+	AtomExch
+	AtomCAS
+	AtomAnd
+	AtomOr
+)
+
+// String returns the atomic mnemonic suffix.
+func (a AtomOp) String() string {
+	switch a {
+	case AtomAdd:
+		return "add"
+	case AtomMax:
+		return "max"
+	case AtomMin:
+		return "min"
+	case AtomExch:
+		return "exch"
+	case AtomCAS:
+		return "cas"
+	case AtomAnd:
+		return "and"
+	case AtomOr:
+		return "or"
+	}
+	return fmt.Sprintf("atom%d", uint8(a))
+}
+
+// SReg identifies a special register readable with OpS2R.
+type SReg uint8
+
+const (
+	SRTidX SReg = iota
+	SRTidY
+	SRCtaIDX
+	SRCtaIDY
+	SRNTidX // block dimension X
+	SRNTidY
+	SRGridDimX
+	SRGridDimY
+	SRLaneID
+	SRWarpID
+	SRNumSReg
+)
+
+// String returns the special register name.
+func (s SReg) String() string {
+	names := [...]string{"tid.x", "tid.y", "ctaid.x", "ctaid.y",
+		"ntid.x", "ntid.y", "griddim.x", "griddim.y", "laneid", "warpid"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("sreg%d", uint8(s))
+}
+
+// Unit identifies the back-end execution unit class of an opcode.
+type Unit uint8
+
+const (
+	UnitMath Unit = iota
+	UnitSpecial
+	UnitLoadStore
+	UnitBranch
+	UnitNone // Nop
+)
+
+// String returns a short unit name.
+func (u Unit) String() string {
+	switch u {
+	case UnitMath:
+		return "math"
+	case UnitSpecial:
+		return "sfu"
+	case UnitLoadStore:
+		return "ldst"
+	case UnitBranch:
+		return "branch"
+	}
+	return "none"
+}
+
+// Instruction is one static instruction of a kernel.
+type Instruction struct {
+	Op   Op
+	Dst  Reg
+	SrcA Reg
+	SrcB Reg
+	SrcC Reg
+	Imm  int64 // immediate operand; float immediates via math.Float64bits
+
+	// Pred, when not RegNone, predicates the instruction per lane on the
+	// low bit of the register; PredNeg inverts the sense.
+	Pred    Reg
+	PredNeg bool
+
+	// Cmp selects the comparison for OpSetP/OpFSetP; Atom the RMW for
+	// OpAtomGlobal.
+	Cmp  Cmp
+	Atom AtomOp
+
+	// Size is the per-lane access size in bytes for memory operations
+	// (4 or 8).
+	Size uint8
+
+	// Target and Reconv are static instruction indices for OpBra: the
+	// branch target and the reconvergence point (immediate
+	// post-dominator) at which diverged lanes rejoin. A branch with
+	// Reconv < 0 asserts it is warp-uniform.
+	Target int32
+	Reconv int32
+}
+
+// NewInstruction returns an instruction with all register slots unused,
+// so constructors only fill what they need.
+func NewInstruction(op Op) Instruction {
+	return Instruction{
+		Op: op, Dst: RegNone, SrcA: RegNone, SrcB: RegNone, SrcC: RegNone,
+		Pred: RegNone, Target: -1, Reconv: -1,
+	}
+}
+
+// IsGlobalMem reports whether the instruction accesses global memory and
+// can therefore page fault. These are the only potentially faulting
+// instructions in the model, mirroring the paper.
+func (in Instruction) IsGlobalMem() bool {
+	return in.Op == OpLdGlobal || in.Op == OpStGlobal || in.Op == OpAtomGlobal
+}
+
+// IsMem reports whether the instruction is executed by the load/store
+// pipelines (global or shared).
+func (in Instruction) IsMem() bool {
+	switch in.Op {
+	case OpLdGlobal, OpStGlobal, OpAtomGlobal, OpLdShared, OpStShared:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether fetching the instruction suspends further
+// fetch for the warp until it commits (control flow).
+func (in Instruction) IsControl() bool {
+	switch in.Op {
+	case OpBra, OpBar, OpExit:
+		return true
+	}
+	return false
+}
+
+// Writes reports whether the instruction writes Dst.
+func (in Instruction) Writes() bool {
+	return in.Dst != RegNone && in.Dst != RZ
+}
+
+// ExecUnit returns the back-end unit class that executes the opcode.
+func (in Instruction) ExecUnit() Unit {
+	switch in.Op {
+	case OpNop:
+		return UnitNone
+	case OpFRcp, OpFSqrt, OpFRsqrt, OpFExp, OpFLog, OpFSin, OpFCos:
+		return UnitSpecial
+	case OpLdGlobal, OpStGlobal, OpAtomGlobal, OpLdShared, OpStShared:
+		return UnitLoadStore
+	case OpBra, OpBar, OpExit:
+		return UnitBranch
+	default:
+		return UnitMath
+	}
+}
+
+// SourceRegs appends the valid source registers of the instruction to
+// dst and returns it. RZ is excluded: it is not scoreboarded.
+func (in Instruction) SourceRegs(dst []Reg) []Reg {
+	for _, r := range [...]Reg{in.SrcA, in.SrcB, in.SrcC, in.Pred} {
+		if r != RegNone && r != RZ {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// Mnemonic returns the assembly mnemonic of the opcode.
+func (o Op) Mnemonic() string {
+	if int(o) < len(mnemonics) {
+		return mnemonics[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+var mnemonics = [...]string{
+	OpNop:  "nop",
+	OpIAdd: "iadd", OpISub: "isub", OpIMul: "imul", OpIMad: "imad",
+	OpIMin: "imin", OpIMax: "imax",
+	OpShl: "shl", OpShr: "shr", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpMov: "mov", OpSetP: "isetp",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFFma: "ffma",
+	OpFMin: "fmin", OpFMax: "fmax", OpFSetP: "fsetp",
+	OpI2F: "i2f", OpF2I: "f2i",
+	OpFRcp: "rcp", OpFSqrt: "sqrt", OpFRsqrt: "rsqrt",
+	OpFExp: "ex2", OpFLog: "lg2", OpFSin: "sin", OpFCos: "cos",
+	OpS2R: "s2r", OpLdParam: "ldc",
+	OpLdGlobal: "ld.global", OpStGlobal: "st.global", OpAtomGlobal: "atom.global",
+	OpLdShared: "ld.shared", OpStShared: "st.shared",
+	OpBra: "bra", OpBar: "bar.sync", OpExit: "exit",
+}
+
+// String disassembles the instruction.
+func (in Instruction) String() string {
+	s := ""
+	if in.Pred != RegNone {
+		neg := ""
+		if in.PredNeg {
+			neg = "!"
+		}
+		s = fmt.Sprintf("@%s%v ", neg, in.Pred)
+	}
+	s += in.Op.Mnemonic()
+	switch in.Op {
+	case OpSetP, OpFSetP:
+		s += "." + in.Cmp.String()
+	case OpAtomGlobal:
+		s += "." + in.Atom.String()
+	}
+	switch in.Op {
+	case OpNop, OpBar, OpExit:
+		return s
+	case OpBra:
+		return fmt.Sprintf("%s -> %d (reconv %d)", s, in.Target, in.Reconv)
+	case OpLdGlobal, OpLdShared:
+		return fmt.Sprintf("%s %v, [%v+%d].%d", s, in.Dst, in.SrcA, in.Imm, in.Size)
+	case OpStGlobal, OpStShared:
+		return fmt.Sprintf("%s [%v+%d].%d, %v", s, in.SrcA, in.Imm, in.Size, in.SrcB)
+	case OpS2R:
+		return fmt.Sprintf("%s %v, %v", s, in.Dst, SReg(in.Imm))
+	case OpLdParam:
+		return fmt.Sprintf("%s %v, param[%d]", s, in.Dst, in.Imm)
+	default:
+		return fmt.Sprintf("%s %v, %v, %v, %v, imm=%d", s, in.Dst, in.SrcA, in.SrcB, in.SrcC, in.Imm)
+	}
+}

@@ -1,0 +1,135 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegString(t *testing.T) {
+	if Reg(3).String() != "R3" || RZ.String() != "RZ" || RegNone.String() != "-" {
+		t.Errorf("register formatting wrong: %v %v %v", Reg(3), RZ, RegNone)
+	}
+}
+
+func TestGlobalMemClassification(t *testing.T) {
+	global := []Op{OpLdGlobal, OpStGlobal, OpAtomGlobal}
+	for _, op := range global {
+		in := NewInstruction(op)
+		if !in.IsGlobalMem() {
+			t.Errorf("%v must be global memory (potentially faulting)", op.Mnemonic())
+		}
+		if !in.IsMem() {
+			t.Errorf("%v must be a memory op", op.Mnemonic())
+		}
+		if in.ExecUnit() != UnitLoadStore {
+			t.Errorf("%v must use the ld/st unit", op.Mnemonic())
+		}
+	}
+	// Shared memory accesses never fault: shared memory is not subject
+	// to translation (Section 2.1).
+	for _, op := range []Op{OpLdShared, OpStShared} {
+		in := NewInstruction(op)
+		if in.IsGlobalMem() {
+			t.Errorf("%v must not be potentially faulting", op.Mnemonic())
+		}
+		if !in.IsMem() {
+			t.Errorf("%v must be a memory op", op.Mnemonic())
+		}
+	}
+	for _, op := range []Op{OpIAdd, OpFFma, OpBra, OpS2R, OpFSqrt} {
+		if NewInstruction(op).IsGlobalMem() {
+			t.Errorf("%v must not be potentially faulting", op.Mnemonic())
+		}
+	}
+}
+
+func TestExecUnits(t *testing.T) {
+	cases := map[Op]Unit{
+		OpIAdd: UnitMath, OpFFma: UnitMath, OpSetP: UnitMath, OpS2R: UnitMath,
+		OpMov: UnitMath, OpLdParam: UnitMath, OpI2F: UnitMath,
+		OpFRcp: UnitSpecial, OpFSqrt: UnitSpecial, OpFSin: UnitSpecial,
+		OpFExp: UnitSpecial, OpFRsqrt: UnitSpecial,
+		OpLdGlobal: UnitLoadStore, OpStShared: UnitLoadStore,
+		OpBra: UnitBranch, OpBar: UnitBranch, OpExit: UnitBranch,
+		OpNop: UnitNone,
+	}
+	for op, want := range cases {
+		in := NewInstruction(op)
+		if got := in.ExecUnit(); got != want {
+			t.Errorf("%v unit = %v, want %v", op.Mnemonic(), got, want)
+		}
+	}
+}
+
+func TestControlFlowDisablesFetch(t *testing.T) {
+	for _, op := range []Op{OpBra, OpBar, OpExit} {
+		in := NewInstruction(op)
+		if !in.IsControl() {
+			t.Errorf("%v must be control flow", op.Mnemonic())
+		}
+	}
+	for _, op := range []Op{OpIAdd, OpLdGlobal, OpNop} {
+		in := NewInstruction(op)
+		if in.IsControl() {
+			t.Errorf("%v must not be control flow", op.Mnemonic())
+		}
+	}
+}
+
+func TestSourceRegsExcludesRZAndNone(t *testing.T) {
+	in := NewInstruction(OpIMad)
+	in.SrcA, in.SrcB, in.SrcC = 1, RZ, 7
+	in.Pred = 9
+	got := in.SourceRegs(nil)
+	if len(got) != 3 {
+		t.Fatalf("SourceRegs = %v, want [R1 R7 R9]", got)
+	}
+	want := map[Reg]bool{1: true, 7: true, 9: true}
+	for _, r := range got {
+		if !want[r] {
+			t.Errorf("unexpected source %v", r)
+		}
+	}
+}
+
+func TestWrites(t *testing.T) {
+	in := NewInstruction(OpIAdd)
+	in.Dst = 5
+	if !in.Writes() {
+		t.Error("instruction with Dst=R5 must write")
+	}
+	in.Dst = RZ
+	if in.Writes() {
+		t.Error("write to RZ is discarded, not scoreboarded")
+	}
+	st := NewInstruction(OpStGlobal)
+	if st.Writes() {
+		t.Error("store has no destination register")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	ld := NewInstruction(OpLdGlobal)
+	ld.Dst, ld.SrcA, ld.Imm, ld.Size = 3, 2, 16, 8
+	if s := ld.String(); !strings.Contains(s, "ld.global") || !strings.Contains(s, "R3") {
+		t.Errorf("load disassembly = %q", s)
+	}
+	br := NewInstruction(OpBra)
+	br.Pred, br.PredNeg, br.Target, br.Reconv = 4, true, 10, 12
+	if s := br.String(); !strings.Contains(s, "@!R4") || !strings.Contains(s, "10") {
+		t.Errorf("branch disassembly = %q", s)
+	}
+	atom := NewInstruction(OpAtomGlobal)
+	atom.Atom = AtomAdd
+	if s := atom.String(); !strings.Contains(s, "atom.global.add") {
+		t.Errorf("atomic disassembly = %q", s)
+	}
+	setp := NewInstruction(OpSetP)
+	setp.Cmp = CmpLT
+	if s := setp.String(); !strings.Contains(s, "isetp.lt") {
+		t.Errorf("setp disassembly = %q", s)
+	}
+	if SRTidX.String() != "tid.x" || SRCtaIDX.String() != "ctaid.x" {
+		t.Errorf("special register names: %v %v", SRTidX, SRCtaIDX)
+	}
+}

@@ -1,0 +1,520 @@
+// Package kernel represents GPU kernels: a static instruction sequence
+// plus launch metadata (grid/block geometry, register and shared memory
+// usage, parameters). Kernels are produced with the Builder, a small
+// structured assembler that resolves labels into branch targets and
+// reconvergence points.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"gpues/internal/isa"
+)
+
+// Dim3 is a 2D launch dimension (the modelled ISA exposes x and y).
+type Dim3 struct {
+	X, Y int
+}
+
+// Count returns the total number of elements in the dimension.
+func (d Dim3) Count() int {
+	y := d.Y
+	if y == 0 {
+		y = 1
+	}
+	x := d.X
+	if x == 0 {
+		x = 1
+	}
+	return x * y
+}
+
+// Kernel is a compiled kernel ready to launch.
+type Kernel struct {
+	Name string
+	Code []isa.Instruction
+
+	// RegsPerThread is the register file cost per thread in 32-bit
+	// register units (used for occupancy, like CUDA's regs/thread).
+	RegsPerThread int
+	// SharedMemBytes is the static shared memory used per thread block.
+	SharedMemBytes int
+
+	// Params are the kernel launch parameters, readable with OpLdParam.
+	Params []uint64
+}
+
+// Validate checks structural well-formedness of the code: branch targets
+// and reconvergence points in range, terminating exit paths, operand
+// registers in range.
+func (k *Kernel) Validate() error {
+	n := int32(len(k.Code))
+	if n == 0 {
+		return fmt.Errorf("kernel %s: empty code", k.Name)
+	}
+	sawExit := false
+	for pc, in := range k.Code {
+		if in.Op == isa.OpExit {
+			sawExit = true
+		}
+		if in.Op == isa.OpBra {
+			if in.Target < 0 || in.Target >= n {
+				return fmt.Errorf("kernel %s: pc %d branch target %d out of range [0,%d)",
+					k.Name, pc, in.Target, n)
+			}
+			if in.Reconv >= n {
+				return fmt.Errorf("kernel %s: pc %d reconvergence %d out of range",
+					k.Name, pc, in.Reconv)
+			}
+		}
+		for _, r := range [...]isa.Reg{in.Dst, in.SrcA, in.SrcB, in.SrcC, in.Pred} {
+			if r != isa.RegNone && (r < 0 || int(r) >= isa.MaxRegs) {
+				return fmt.Errorf("kernel %s: pc %d register %d out of range", k.Name, pc, r)
+			}
+		}
+		if in.Op == isa.OpLdParam {
+			if in.Imm < 0 || int(in.Imm) >= len(k.Params) {
+				return fmt.Errorf("kernel %s: pc %d reads param %d of %d",
+					k.Name, pc, in.Imm, len(k.Params))
+			}
+		}
+		if in.IsMem() && in.Size != 4 && in.Size != 8 {
+			return fmt.Errorf("kernel %s: pc %d memory access size %d (want 4 or 8)",
+				k.Name, pc, in.Size)
+		}
+	}
+	if !sawExit {
+		return fmt.Errorf("kernel %s: no exit instruction", k.Name)
+	}
+	return nil
+}
+
+// Launch describes one kernel launch: the kernel and its grid geometry.
+type Launch struct {
+	Kernel *Kernel
+	Grid   Dim3
+	Block  Dim3
+}
+
+// Blocks returns the number of thread blocks in the launch.
+func (l *Launch) Blocks() int { return l.Grid.Count() }
+
+// ThreadsPerBlock returns the block size in threads.
+func (l *Launch) ThreadsPerBlock() int { return l.Block.Count() }
+
+// WarpsPerBlock returns the number of warps per block for the given warp
+// size, rounding up.
+func (l *Launch) WarpsPerBlock(warpSize int) int {
+	return (l.ThreadsPerBlock() + warpSize - 1) / warpSize
+}
+
+// Occupancy computes how many thread blocks of this launch fit
+// concurrently on one SM, limited by the register file, shared memory,
+// warp slots and the block residency limit — mirroring the CUDA
+// occupancy rules the paper relies on (e.g. lbm's 8-warp occupancy).
+func (l *Launch) Occupancy(maxBlocks, maxWarps, warpSize, regFileKB, sharedKB int) int {
+	blocks := maxBlocks
+	warps := l.WarpsPerBlock(warpSize)
+	if warps > 0 {
+		if byWarps := maxWarps / warps; byWarps < blocks {
+			blocks = byWarps
+		}
+	}
+	if l.Kernel.RegsPerThread > 0 {
+		regsPerBlock := l.Kernel.RegsPerThread * warps * warpSize
+		if regsPerBlock > 0 {
+			if byRegs := regFileKB * 1024 / 4 / regsPerBlock; byRegs < blocks {
+				blocks = byRegs
+			}
+		}
+	}
+	if l.Kernel.SharedMemBytes > 0 {
+		if byShared := sharedKB * 1024 / l.Kernel.SharedMemBytes; byShared < blocks {
+			blocks = byShared
+		}
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks
+}
+
+// Label is a forward- or backward-referenced code position used by the
+// Builder.
+type Label struct {
+	id int
+}
+
+// Builder assembles kernels. All emit methods return the Builder-chosen
+// structure; branches take Labels which are resolved by Build.
+type Builder struct {
+	name    string
+	code    []isa.Instruction
+	labels  []int32 // label id -> pc, -1 if unbound
+	fixups  []fixup
+	regs    int
+	shared  int
+	params  []uint64
+	errs    []error
+	nextReg isa.Reg
+}
+
+type fixup struct {
+	pc     int
+	target int // label id for Target, -1 none
+	reconv int // label id for Reconv, -1 none
+}
+
+// NewBuilder returns a Builder for a kernel with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, nextReg: 0}
+}
+
+// SetRegsPerThread sets the occupancy-relevant register cost per thread
+// (in 32-bit units). If unset, Build derives it from the highest register
+// used (counting 2 slots per register, since registers hold 64 bits).
+func (b *Builder) SetRegsPerThread(n int) *Builder { b.regs = n; return b }
+
+// SetSharedMem sets the static shared memory per block in bytes.
+func (b *Builder) SetSharedMem(bytes int) *Builder { b.shared = bytes; return b }
+
+// AddParam appends a launch parameter and returns its index for
+// LoadParam.
+func (b *Builder) AddParam(v uint64) int {
+	b.params = append(b.params, v)
+	return len(b.params) - 1
+}
+
+// SetParam overwrites a previously added parameter (used by workloads to
+// patch buffer addresses after allocation).
+func (b *Builder) SetParam(idx int, v uint64) {
+	if idx < 0 || idx >= len(b.params) {
+		b.errs = append(b.errs, fmt.Errorf("SetParam(%d) out of range", idx))
+		return
+	}
+	b.params[idx] = v
+}
+
+// Reg allocates a fresh register.
+func (b *Builder) Reg() isa.Reg {
+	r := b.nextReg
+	if r >= isa.RZ {
+		b.errs = append(b.errs, fmt.Errorf("out of registers in kernel %s", b.name))
+		return 0
+	}
+	b.nextReg++
+	return r
+}
+
+// NewLabel creates an unbound label.
+func (b *Builder) NewLabel() Label {
+	b.labels = append(b.labels, -1)
+	return Label{id: len(b.labels) - 1}
+}
+
+// Bind binds the label to the current code position.
+func (b *Builder) Bind(l Label) {
+	if b.labels[l.id] != -1 {
+		b.errs = append(b.errs, fmt.Errorf("label %d bound twice", l.id))
+		return
+	}
+	b.labels[l.id] = int32(len(b.code))
+}
+
+// Here creates a label bound to the current position.
+func (b *Builder) Here() Label {
+	l := b.NewLabel()
+	b.Bind(l)
+	return l
+}
+
+func (b *Builder) emit(in isa.Instruction) *Builder {
+	b.code = append(b.code, in)
+	return b
+}
+
+// Emit appends a hand-constructed instruction, for forms the helper
+// methods do not cover (e.g. predicated ALU operations). Branches must
+// go through Bra/BraIf so their labels resolve.
+func (b *Builder) Emit(in isa.Instruction) *Builder {
+	if in.Op == isa.OpBra {
+		b.errs = append(b.errs, fmt.Errorf("kernel %s: Emit cannot take branches; use Bra/BraIf", b.name))
+		return b
+	}
+	return b.emit(in)
+}
+
+// PC returns the current instruction count (next pc to be emitted).
+func (b *Builder) PC() int { return len(b.code) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(isa.NewInstruction(isa.OpNop)) }
+
+func (b *Builder) alu3(op isa.Op, d, a, rb isa.Reg, imm int64) *Builder {
+	in := isa.NewInstruction(op)
+	in.Dst, in.SrcA, in.SrcB, in.Imm = d, a, rb, imm
+	return b.emit(in)
+}
+
+// IAdd emits d = a + rb + imm (use RZ for unused addend).
+func (b *Builder) IAdd(d, a, rb isa.Reg, imm int64) *Builder {
+	return b.alu3(isa.OpIAdd, d, a, rb, imm)
+}
+
+// ISub emits d = a - rb.
+func (b *Builder) ISub(d, a, rb isa.Reg) *Builder { return b.alu3(isa.OpISub, d, a, rb, 0) }
+
+// IMul emits d = a * rb (or a * imm with rb == RZ and imm != 0; the
+// emulator multiplies by imm when rb is RZ).
+func (b *Builder) IMul(d, a, rb isa.Reg, imm int64) *Builder {
+	return b.alu3(isa.OpIMul, d, a, rb, imm)
+}
+
+// IMad emits d = a*rb + c.
+func (b *Builder) IMad(d, a, rb, c isa.Reg) *Builder {
+	in := isa.NewInstruction(isa.OpIMad)
+	in.Dst, in.SrcA, in.SrcB, in.SrcC = d, a, rb, c
+	return b.emit(in)
+}
+
+// IMin and IMax emit signed min/max.
+func (b *Builder) IMin(d, a, rb isa.Reg) *Builder { return b.alu3(isa.OpIMin, d, a, rb, 0) }
+
+// IMax emits signed max.
+func (b *Builder) IMax(d, a, rb isa.Reg) *Builder { return b.alu3(isa.OpIMax, d, a, rb, 0) }
+
+// Shl emits d = a << imm.
+func (b *Builder) Shl(d, a isa.Reg, imm int64) *Builder { return b.alu3(isa.OpShl, d, a, isa.RZ, imm) }
+
+// Shr emits d = a >> imm (logical).
+func (b *Builder) Shr(d, a isa.Reg, imm int64) *Builder { return b.alu3(isa.OpShr, d, a, isa.RZ, imm) }
+
+// And emits d = a & imm (rb == RZ) or d = a & rb.
+func (b *Builder) And(d, a, rb isa.Reg, imm int64) *Builder { return b.alu3(isa.OpAnd, d, a, rb, imm) }
+
+// Or emits d = a | rb | imm.
+func (b *Builder) Or(d, a, rb isa.Reg, imm int64) *Builder { return b.alu3(isa.OpOr, d, a, rb, imm) }
+
+// Xor emits d = a ^ rb ^ imm.
+func (b *Builder) Xor(d, a, rb isa.Reg, imm int64) *Builder { return b.alu3(isa.OpXor, d, a, rb, imm) }
+
+// MovI emits d = imm.
+func (b *Builder) MovI(d isa.Reg, imm int64) *Builder {
+	in := isa.NewInstruction(isa.OpMov)
+	in.Dst, in.Imm = d, imm
+	return b.emit(in)
+}
+
+// Mov emits d = a.
+func (b *Builder) Mov(d, a isa.Reg) *Builder {
+	in := isa.NewInstruction(isa.OpMov)
+	in.Dst, in.SrcA = d, a
+	return b.emit(in)
+}
+
+// SetP emits d = (a cmp rb+imm) ? 1 : 0 on signed integers.
+func (b *Builder) SetP(cmp isa.Cmp, d, a, rb isa.Reg, imm int64) *Builder {
+	in := isa.NewInstruction(isa.OpSetP)
+	in.Dst, in.SrcA, in.SrcB, in.Imm, in.Cmp = d, a, rb, imm, cmp
+	return b.emit(in)
+}
+
+// FSetP emits d = (a cmp rb) ? 1 : 0 on floats.
+func (b *Builder) FSetP(cmp isa.Cmp, d, a, rb isa.Reg) *Builder {
+	in := isa.NewInstruction(isa.OpFSetP)
+	in.Dst, in.SrcA, in.SrcB, in.Cmp = d, a, rb, cmp
+	return b.emit(in)
+}
+
+// FAdd emits d = a + rb.
+func (b *Builder) FAdd(d, a, rb isa.Reg) *Builder { return b.alu3(isa.OpFAdd, d, a, rb, 0) }
+
+// FSub emits d = a - rb.
+func (b *Builder) FSub(d, a, rb isa.Reg) *Builder { return b.alu3(isa.OpFSub, d, a, rb, 0) }
+
+// FMul emits d = a * rb.
+func (b *Builder) FMul(d, a, rb isa.Reg) *Builder { return b.alu3(isa.OpFMul, d, a, rb, 0) }
+
+// FFma emits d = a*rb + c.
+func (b *Builder) FFma(d, a, rb, c isa.Reg) *Builder {
+	in := isa.NewInstruction(isa.OpFFma)
+	in.Dst, in.SrcA, in.SrcB, in.SrcC = d, a, rb, c
+	return b.emit(in)
+}
+
+// FMovI emits d = the float immediate f.
+func (b *Builder) FMovI(d isa.Reg, f float64) *Builder {
+	return b.MovI(d, int64(math.Float64bits(f)))
+}
+
+// I2F emits d = float64(int64(a)).
+func (b *Builder) I2F(d, a isa.Reg) *Builder { return b.alu3(isa.OpI2F, d, a, isa.RegNone, 0) }
+
+// F2I emits d = int64(float64(a)).
+func (b *Builder) F2I(d, a isa.Reg) *Builder { return b.alu3(isa.OpF2I, d, a, isa.RegNone, 0) }
+
+func (b *Builder) sfu(op isa.Op, d, a isa.Reg) *Builder {
+	in := isa.NewInstruction(op)
+	in.Dst, in.SrcA = d, a
+	return b.emit(in)
+}
+
+// FRcp emits d = 1/a on the special function unit.
+func (b *Builder) FRcp(d, a isa.Reg) *Builder { return b.sfu(isa.OpFRcp, d, a) }
+
+// FSqrt emits d = sqrt(a).
+func (b *Builder) FSqrt(d, a isa.Reg) *Builder { return b.sfu(isa.OpFSqrt, d, a) }
+
+// FRsqrt emits d = 1/sqrt(a).
+func (b *Builder) FRsqrt(d, a isa.Reg) *Builder { return b.sfu(isa.OpFRsqrt, d, a) }
+
+// FExp emits d = 2^a.
+func (b *Builder) FExp(d, a isa.Reg) *Builder { return b.sfu(isa.OpFExp, d, a) }
+
+// FLog emits d = log2(a).
+func (b *Builder) FLog(d, a isa.Reg) *Builder { return b.sfu(isa.OpFLog, d, a) }
+
+// FSin emits d = sin(a).
+func (b *Builder) FSin(d, a isa.Reg) *Builder { return b.sfu(isa.OpFSin, d, a) }
+
+// FCos emits d = cos(a).
+func (b *Builder) FCos(d, a isa.Reg) *Builder { return b.sfu(isa.OpFCos, d, a) }
+
+// S2R emits d = special register s.
+func (b *Builder) S2R(d isa.Reg, s isa.SReg) *Builder {
+	in := isa.NewInstruction(isa.OpS2R)
+	in.Dst, in.Imm = d, int64(s)
+	return b.emit(in)
+}
+
+// LoadParam emits d = params[idx].
+func (b *Builder) LoadParam(d isa.Reg, idx int) *Builder {
+	in := isa.NewInstruction(isa.OpLdParam)
+	in.Dst, in.Imm = d, int64(idx)
+	return b.emit(in)
+}
+
+// LdGlobal emits d = global[a + imm] with the given access size.
+func (b *Builder) LdGlobal(d, a isa.Reg, imm int64, size int) *Builder {
+	in := isa.NewInstruction(isa.OpLdGlobal)
+	in.Dst, in.SrcA, in.Imm, in.Size = d, a, imm, uint8(size)
+	return b.emit(in)
+}
+
+// StGlobal emits global[a + imm] = v.
+func (b *Builder) StGlobal(a isa.Reg, imm int64, v isa.Reg, size int) *Builder {
+	in := isa.NewInstruction(isa.OpStGlobal)
+	in.SrcA, in.SrcB, in.Imm, in.Size = a, v, imm, uint8(size)
+	return b.emit(in)
+}
+
+// AtomGlobal emits d = atomic-op(global[a], v). For AtomCAS, SrcC is the
+// compare value and v the swap value.
+func (b *Builder) AtomGlobal(op isa.AtomOp, d, a, v, cmp isa.Reg, size int) *Builder {
+	in := isa.NewInstruction(isa.OpAtomGlobal)
+	in.Dst, in.SrcA, in.SrcB, in.SrcC = d, a, v, cmp
+	in.Atom, in.Size = op, uint8(size)
+	return b.emit(in)
+}
+
+// LdShared emits d = shared[a + imm].
+func (b *Builder) LdShared(d, a isa.Reg, imm int64, size int) *Builder {
+	in := isa.NewInstruction(isa.OpLdShared)
+	in.Dst, in.SrcA, in.Imm, in.Size = d, a, imm, uint8(size)
+	return b.emit(in)
+}
+
+// StShared emits shared[a + imm] = v.
+func (b *Builder) StShared(a isa.Reg, imm int64, v isa.Reg, size int) *Builder {
+	in := isa.NewInstruction(isa.OpStShared)
+	in.SrcA, in.SrcB, in.Imm, in.Size = a, v, imm, uint8(size)
+	return b.emit(in)
+}
+
+// Bar emits a block-wide barrier.
+func (b *Builder) Bar() *Builder { return b.emit(isa.NewInstruction(isa.OpBar)) }
+
+// Exit emits thread exit.
+func (b *Builder) Exit() *Builder { return b.emit(isa.NewInstruction(isa.OpExit)) }
+
+// Bra emits an unconditional branch to target. Unconditional branches
+// are warp-uniform by construction and need no reconvergence point.
+func (b *Builder) Bra(target Label) *Builder {
+	in := isa.NewInstruction(isa.OpBra)
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), target: target.id, reconv: -1})
+	return b.emit(in)
+}
+
+// BraIf emits a branch to target taken by lanes where pred is non-zero
+// (inverted when neg). Reconv is the reconvergence point where diverged
+// lanes rejoin; pass a label bound at the immediate post-dominator.
+func (b *Builder) BraIf(pred isa.Reg, neg bool, target, reconv Label) *Builder {
+	in := isa.NewInstruction(isa.OpBra)
+	in.Pred, in.PredNeg = pred, neg
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), target: target.id, reconv: reconv.id})
+	return b.emit(in)
+}
+
+// BraIfUniform emits a predicated branch that the kernel author asserts
+// is warp-uniform (all lanes agree), e.g. a loop back-edge on a counter
+// shared by the whole warp. The emulator verifies the assertion.
+func (b *Builder) BraIfUniform(pred isa.Reg, neg bool, target Label) *Builder {
+	in := isa.NewInstruction(isa.OpBra)
+	in.Pred, in.PredNeg = pred, neg
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), target: target.id, reconv: -1})
+	return b.emit(in)
+}
+
+// Build resolves labels and returns the kernel.
+func (b *Builder) Build() (*Kernel, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, f := range b.fixups {
+		in := &b.code[f.pc]
+		if f.target >= 0 {
+			pc := b.labels[f.target]
+			if pc < 0 {
+				return nil, fmt.Errorf("kernel %s: unbound branch target label at pc %d", b.name, f.pc)
+			}
+			in.Target = pc
+		}
+		if f.reconv >= 0 {
+			pc := b.labels[f.reconv]
+			if pc < 0 {
+				return nil, fmt.Errorf("kernel %s: unbound reconvergence label at pc %d", b.name, f.pc)
+			}
+			in.Reconv = pc
+		}
+	}
+	regs := b.regs
+	if regs == 0 {
+		// Two 32-bit slots per allocated 64-bit register.
+		regs = 2 * int(b.nextReg)
+		if regs == 0 {
+			regs = 2
+		}
+	}
+	k := &Kernel{
+		Name:           b.name,
+		Code:           b.code,
+		RegsPerThread:  regs,
+		SharedMemBytes: b.shared,
+		Params:         b.params,
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// MustBuild is Build that panics on error, for statically known-good
+// kernels in workloads and tests.
+func (b *Builder) MustBuild() *Kernel {
+	k, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

@@ -1,0 +1,212 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"gpues/internal/isa"
+)
+
+func TestBuilderLabelResolution(t *testing.T) {
+	b := NewBuilder("labels")
+	r := b.Reg()
+	p := b.Reg()
+	loop := b.NewLabel()
+	b.MovI(r, 4)
+	b.Bind(loop)
+	b.IAdd(r, r, isa.RZ, -1)
+	b.SetP(isa.CmpGT, p, r, isa.RZ, 0)
+	b.BraIfUniform(p, false, loop)
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := k.Code[3]
+	if br.Op != isa.OpBra || br.Target != 1 {
+		t.Errorf("back edge target = %d, want 1", br.Target)
+	}
+	if br.Reconv != -1 {
+		t.Errorf("uniform branch reconv = %d, want -1", br.Reconv)
+	}
+}
+
+func TestBuilderForwardLabelAndReconv(t *testing.T) {
+	b := NewBuilder("fwd")
+	p := b.Reg()
+	thenL := b.NewLabel()
+	out := b.NewLabel()
+	b.MovI(p, 1)
+	b.BraIf(p, false, thenL, out)
+	b.Nop() // else path
+	b.Bind(thenL)
+	b.Nop() // then path
+	b.Bind(out)
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := k.Code[1]
+	if br.Target != 3 || br.Reconv != 4 {
+		t.Errorf("branch target/reconv = %d/%d, want 3/4", br.Target, br.Reconv)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	t.Run("unbound label", func(t *testing.T) {
+		b := NewBuilder("bad")
+		l := b.NewLabel()
+		b.Bra(l)
+		b.Exit()
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "unbound") {
+			t.Errorf("Build() err = %v, want unbound label error", err)
+		}
+	})
+	t.Run("no exit", func(t *testing.T) {
+		b := NewBuilder("noexit")
+		b.Nop()
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "exit") {
+			t.Errorf("Build() err = %v, want missing-exit error", err)
+		}
+	})
+	t.Run("double bind", func(t *testing.T) {
+		b := NewBuilder("dbl")
+		l := b.NewLabel()
+		b.Bind(l)
+		b.Nop()
+		b.Bind(l)
+		b.Exit()
+		if _, err := b.Build(); err == nil {
+			t.Error("Build() = nil error, want double-bind error")
+		}
+	})
+	t.Run("bad param index", func(t *testing.T) {
+		b := NewBuilder("param")
+		b.LoadParam(b.Reg(), 3) // no params added
+		b.Exit()
+		if _, err := b.Build(); err == nil {
+			t.Error("Build() = nil error, want param range error")
+		}
+	})
+	t.Run("bad mem size", func(t *testing.T) {
+		b := NewBuilder("size")
+		r := b.Reg()
+		b.LdGlobal(r, r, 0, 3)
+		b.Exit()
+		if _, err := b.Build(); err == nil {
+			t.Error("Build() = nil error, want size error")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := NewBuilder("e").Build(); err == nil {
+			t.Error("Build() of empty kernel must fail")
+		}
+	})
+}
+
+func TestValidateBranchRange(t *testing.T) {
+	k := &Kernel{Name: "k", Code: []isa.Instruction{func() isa.Instruction {
+		in := isa.NewInstruction(isa.OpBra)
+		in.Target = 99
+		return in
+	}(), isa.NewInstruction(isa.OpExit)}}
+	if err := k.Validate(); err == nil {
+		t.Error("Validate() must reject out-of-range target")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	// 256 threads/block, 32 regs/thread, no shared memory:
+	// register limit = 256KB/4B / (32*256) = 8 blocks.
+	k := &Kernel{Name: "k", RegsPerThread: 32}
+	l := Launch{Kernel: k, Grid: Dim3{X: 100}, Block: Dim3{X: 256}}
+	if got := l.Occupancy(16, 64, 32, 256, 32); got != 8 {
+		t.Errorf("occupancy = %d, want 8 (register limited)", got)
+	}
+	// Warp slots limit: 64 warps / 8 warps-per-block = 8 blocks, but with
+	// 8 regs/thread registers allow 32 -> warp limited.
+	k2 := &Kernel{Name: "k2", RegsPerThread: 8}
+	l2 := Launch{Kernel: k2, Grid: Dim3{X: 100}, Block: Dim3{X: 256}}
+	if got := l2.Occupancy(16, 64, 32, 256, 32); got != 8 {
+		t.Errorf("occupancy = %d, want 8 (warp limited)", got)
+	}
+	// lbm-like: 128 threads/block, 256 regs/thread ->
+	// 256KB/4 = 65536 regs; per block 128*256 = 32768 -> 2 blocks, 8 warps.
+	k3 := &Kernel{Name: "lbm", RegsPerThread: 256}
+	l3 := Launch{Kernel: k3, Grid: Dim3{X: 100}, Block: Dim3{X: 128}}
+	if got := l3.Occupancy(16, 64, 32, 256, 32); got != 2 {
+		t.Errorf("lbm occupancy = %d blocks, want 2 (8 warps)", got)
+	}
+	// Shared memory limit: 16KB/block in a 32KB SM -> 2 blocks.
+	k4 := &Kernel{Name: "shm", RegsPerThread: 8, SharedMemBytes: 16 * 1024}
+	l4 := Launch{Kernel: k4, Grid: Dim3{X: 100}, Block: Dim3{X: 32}}
+	if got := l4.Occupancy(16, 64, 32, 256, 32); got != 2 {
+		t.Errorf("occupancy = %d, want 2 (shared memory limited)", got)
+	}
+	// Floor of 1: even absurd usage yields one resident block.
+	k5 := &Kernel{Name: "huge", RegsPerThread: 255, SharedMemBytes: 64 * 1024}
+	l5 := Launch{Kernel: k5, Grid: Dim3{X: 1}, Block: Dim3{X: 1024}}
+	if got := l5.Occupancy(16, 64, 32, 256, 32); got != 1 {
+		t.Errorf("occupancy = %d, want 1", got)
+	}
+}
+
+func TestLaunchGeometry(t *testing.T) {
+	l := Launch{Kernel: &Kernel{}, Grid: Dim3{X: 4, Y: 3}, Block: Dim3{X: 96}}
+	if l.Blocks() != 12 {
+		t.Errorf("Blocks() = %d, want 12", l.Blocks())
+	}
+	if l.ThreadsPerBlock() != 96 {
+		t.Errorf("ThreadsPerBlock() = %d, want 96", l.ThreadsPerBlock())
+	}
+	if l.WarpsPerBlock(32) != 3 {
+		t.Errorf("WarpsPerBlock(32) = %d, want 3", l.WarpsPerBlock(32))
+	}
+	// Partial warp rounds up.
+	l.Block = Dim3{X: 33}
+	if l.WarpsPerBlock(32) != 2 {
+		t.Errorf("WarpsPerBlock(32) with 33 threads = %d, want 2", l.WarpsPerBlock(32))
+	}
+	if (Dim3{}).Count() != 1 {
+		t.Errorf("zero Dim3 must count as 1")
+	}
+}
+
+func TestSetParam(t *testing.T) {
+	b := NewBuilder("p")
+	idx := b.AddParam(0)
+	b.SetParam(idx, 42)
+	b.LoadParam(b.Reg(), idx)
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Params[idx] != 42 {
+		t.Errorf("param = %d, want 42", k.Params[idx])
+	}
+	b2 := NewBuilder("p2")
+	b2.SetParam(5, 1) // out of range
+	b2.Exit()
+	if _, err := b2.Build(); err == nil {
+		t.Error("SetParam out of range must surface at Build")
+	}
+}
+
+func TestRegsPerThreadDerivation(t *testing.T) {
+	b := NewBuilder("regs")
+	for i := 0; i < 10; i++ {
+		b.Reg()
+	}
+	b.Exit()
+	k := b.MustBuild()
+	if k.RegsPerThread != 20 {
+		t.Errorf("derived regs/thread = %d, want 20 (2 slots per 64-bit reg)", k.RegsPerThread)
+	}
+	b2 := NewBuilder("explicit").SetRegsPerThread(200)
+	b2.Exit()
+	if k2 := b2.MustBuild(); k2.RegsPerThread != 200 {
+		t.Errorf("explicit regs/thread = %d, want 200", k2.RegsPerThread)
+	}
+}

@@ -1,0 +1,330 @@
+// Package sim assembles the full GPU system of Figure 1 — SMs with
+// private L1 caches and TLBs, the shared L2 cache and L2 TLB, the fill
+// unit, DRAM, the CPU-GPU interconnect, the CPU driver and the
+// exception support — and runs one kernel launch to completion,
+// cycle by cycle.
+package sim
+
+import (
+	"fmt"
+
+	"gpues/internal/cache"
+	"gpues/internal/clock"
+	"gpues/internal/config"
+	"gpues/internal/core"
+	"gpues/internal/dram"
+	"gpues/internal/emu"
+	"gpues/internal/host"
+	"gpues/internal/interconnect"
+	"gpues/internal/kernel"
+	"gpues/internal/sm"
+	"gpues/internal/tlb"
+	"gpues/internal/vm"
+)
+
+// LaunchSpec is everything needed to run one kernel: the launch, the
+// functional memory holding its data, and the registered virtual
+// memory regions with their initial placement.
+type LaunchSpec struct {
+	Launch  *kernel.Launch
+	Memory  *emu.Memory
+	Regions []vm.Region
+}
+
+// Result summarizes one simulated kernel execution.
+type Result struct {
+	Cycles int64
+	// Per-component statistics.
+	SMs        []sm.Stats
+	L2         cache.Stats
+	L2TLB      tlb.Stats
+	DRAM       dram.Stats
+	Link       interconnect.Stats
+	LinkUtil   float64
+	CPUFaults  host.FaultStats
+	FaultUnit  core.Stats
+	Local      core.LocalStats
+	WalkFaults int64
+	Walks      int64
+	// Derived totals.
+	Committed int64
+	Blocks    int
+	Occupancy int
+}
+
+// IPC returns committed warp instructions per cycle across the GPU.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// Simulator is a one-shot full-system simulation of a kernel launch.
+type Simulator struct {
+	cfg  config.Config
+	spec LaunchSpec
+
+	q     *clock.Queue
+	as    *vm.AddressSpace
+	emul  *emu.Emulator
+	disp  *host.Dispatcher
+	fu    *tlb.FillUnit
+	l2tlb *tlb.TLB
+	l2    *cache.Cache
+	mem   *dram.DRAM
+	link  *interconnect.Link
+	cpu   *host.FaultService
+	funit *core.FaultUnit
+	local *core.LocalHandler
+	sms   []*sm.SM
+
+	// MaxCycles aborts runaway simulations.
+	MaxCycles int64
+}
+
+// DefaultMaxCycles bounds a single kernel simulation.
+const DefaultMaxCycles = 2_000_000_000
+
+// New wires up a simulator for the spec under the configuration.
+func New(cfg config.Config, spec LaunchSpec) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Launch == nil || spec.Memory == nil {
+		return nil, fmt.Errorf("sim: launch spec needs a kernel launch and memory")
+	}
+	if err := spec.Launch.Kernel.Validate(); err != nil {
+		return nil, err
+	}
+
+	s := &Simulator{cfg: cfg, spec: spec, q: clock.New(), MaxCycles: DefaultMaxCycles}
+
+	// Virtual memory substrate.
+	as, err := vm.NewAddressSpace(cfg.System.PageSize,
+		uint64(cfg.System.GPUMemoryMB)<<20, uint64(cfg.System.CPUMemoryMB)<<20)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range spec.Regions {
+		if err := as.AddRegion(r); err != nil {
+			return nil, err
+		}
+	}
+	s.as = as
+
+	// Memory hierarchy: DRAM <- L2 <- per-SM L1s.
+	s.mem, err = dram.New(s.q, int64(cfg.System.DRAMLatency), cfg.BytesPerCycle(), cfg.System.L2LineB)
+	if err != nil {
+		return nil, err
+	}
+	s.l2, err = cache.New(cache.Config{
+		Name:    "L2",
+		SizeKB:  cfg.System.L2SizeKB,
+		Ways:    cfg.System.L2Ways,
+		LineB:   cfg.System.L2LineB,
+		MSHRs:   cfg.System.L2MSHRs,
+		Latency: int64(cfg.System.L2Latency),
+		Policy:  cache.WriteBack,
+	}, s.q, s.mem)
+	if err != nil {
+		return nil, err
+	}
+
+	// Translation hierarchy: fill unit <- L2 TLB <- per-SM L1 TLBs.
+	s.fu, err = tlb.NewFillUnit(s.q, cfg.System.PTWalkers, int64(cfg.System.WalkLatency),
+		func(pageVA uint64) tlb.Result {
+			k := as.Classify(pageVA)
+			if k == vm.FaultNone {
+				return tlb.Result{Present: true}
+			}
+			return tlb.Result{Fault: k}
+		})
+	if err != nil {
+		return nil, err
+	}
+	s.l2tlb, err = tlb.New(tlb.Config{
+		Name:    "L2TLB",
+		Entries: cfg.System.L2TLBEntries,
+		Ways:    cfg.System.L2TLBWays,
+		MSHRs:   cfg.System.L2TLBMSHRs,
+		Latency: int64(cfg.System.L2TLBLatency),
+	}, cfg.System.PageSize, s.q, s.fu)
+	if err != nil {
+		return nil, err
+	}
+
+	// Host side: interconnect, CPU fault service, exception unit.
+	s.link, err = interconnect.New(cfg.Link.Kind.String(), s.q, cfg.Link.DuplexChannels)
+	if err != nil {
+		return nil, err
+	}
+	s.cpu, err = host.NewFaultService(s.q, s.link, as, cfg.System.FaultGranularity,
+		cfg.Link.FaultCosts, cfg.Cycles)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Local.Enabled {
+		s.local, err = core.NewLocalHandler(s.q, as, cfg.System.NumSMs,
+			cfg.System.FaultGranularity, cfg.Cycles(cfg.Link.FaultCosts.GPUHandleUS),
+			cfg.Local.Concurrency)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var localResolver core.Resolver
+	if s.local != nil {
+		localResolver = s.local
+	}
+	s.funit, err = core.NewFaultUnit(s.q, cfg.System.FaultGranularity, s.cpu, localResolver)
+	if err != nil {
+		return nil, err
+	}
+
+	// Functional emulation and block dispatch.
+	s.emul, err = emu.New(spec.Launch, spec.Memory, cfg.SM.L1LineB)
+	if err != nil {
+		return nil, err
+	}
+	s.disp, err = host.NewDispatcher(spec.Launch.Blocks(), s.emul.EmulateBlock)
+	if err != nil {
+		return nil, err
+	}
+
+	// SMs with private L1 cache and TLB.
+	s.sms = make([]*sm.SM, cfg.System.NumSMs)
+	for i := range s.sms {
+		l1, err := cache.New(cache.Config{
+			Name:    fmt.Sprintf("L1.%d", i),
+			SizeKB:  cfg.SM.L1SizeKB,
+			Ways:    cfg.SM.L1Ways,
+			LineB:   cfg.SM.L1LineB,
+			MSHRs:   cfg.SM.L1MSHRs,
+			Latency: int64(cfg.SM.L1Latency),
+			Policy:  cache.WriteThrough,
+		}, s.q, s.l2)
+		if err != nil {
+			return nil, err
+		}
+		l1tlb, err := tlb.New(tlb.Config{
+			Name:    fmt.Sprintf("L1TLB.%d", i),
+			Entries: cfg.SM.L1TLBSize,
+			Ways:    cfg.SM.L1TLBWays,
+			Latency: int64(cfg.SM.L1TLBLat),
+		}, cfg.System.PageSize, s.q, s.l2tlb)
+		if err != nil {
+			return nil, err
+		}
+		s.sms[i] = sm.New(i, &s.cfg, s.q, l1, l1tlb, s.funit, s.disp, contextMover{s.mem})
+	}
+	return s, nil
+}
+
+// contextMover adapts the DRAM model to sm.ContextMover.
+type contextMover struct{ d *dram.DRAM }
+
+func (m contextMover) Move(bytes int, done func()) { m.d.Transfer(bytes, done) }
+
+// AddressSpace exposes the simulator's VM state (for tests and tools).
+func (s *Simulator) AddressSpace() *vm.AddressSpace { return s.as }
+
+// Run simulates the launch to completion and returns the result.
+func (s *Simulator) Run() (*Result, error) {
+	for _, m := range s.sms {
+		m.PrepareLaunch(s.spec.Launch)
+	}
+	for _, m := range s.sms {
+		m.FillBlocks()
+	}
+	if err := s.disp.Err(); err != nil {
+		return nil, err
+	}
+
+	for !s.finished() {
+		if s.q.Now() > s.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded %d cycles (livelock?)", s.MaxCycles)
+		}
+		anyActive := false
+		for _, m := range s.sms {
+			if !m.Done() && !m.Idle() {
+				m.Tick()
+				anyActive = true
+			}
+		}
+		if err := s.firstError(); err != nil {
+			return nil, err
+		}
+		if s.finished() {
+			break
+		}
+		if anyActive {
+			s.q.Step()
+		} else {
+			next, ok := s.q.NextEvent()
+			if !ok {
+				return nil, fmt.Errorf("sim: deadlock at cycle %d: all SMs idle with no pending events", s.q.Now())
+			}
+			s.q.SkipTo(next)
+		}
+	}
+	if err := s.firstError(); err != nil {
+		return nil, err
+	}
+	return s.collect(), nil
+}
+
+func (s *Simulator) finished() bool {
+	if !s.disp.AllDone() {
+		return false
+	}
+	for _, m := range s.sms {
+		if !m.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Simulator) firstError() error {
+	if err := s.disp.Err(); err != nil {
+		return err
+	}
+	return s.funit.Err()
+}
+
+func (s *Simulator) collect() *Result {
+	r := &Result{
+		Cycles:     s.q.Now(),
+		L2:         s.l2.Stats(),
+		L2TLB:      s.l2tlb.Stats(),
+		DRAM:       s.mem.Stats(),
+		Link:       s.link.Stats(),
+		LinkUtil:   s.link.Utilization(),
+		CPUFaults:  s.cpu.Stats(),
+		FaultUnit:  s.funit.Stats(),
+		Walks:      s.fu.Walks,
+		WalkFaults: s.fu.FaultsDetected,
+		Blocks:     s.disp.Completed(),
+	}
+	if s.local != nil {
+		r.Local = s.local.Stats()
+	}
+	for _, m := range s.sms {
+		st := m.Stats()
+		r.SMs = append(r.SMs, st)
+		r.Committed += st.Committed
+	}
+	if len(s.sms) > 0 {
+		r.Occupancy = s.sms[0].Occupancy()
+	}
+	return r
+}
+
+// RunSpec is a convenience: build a simulator for cfg/spec and run it.
+func RunSpec(cfg config.Config, spec LaunchSpec) (*Result, error) {
+	s, err := New(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

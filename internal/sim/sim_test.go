@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"testing"
+
+	"gpues/internal/config"
+	"gpues/internal/emu"
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+	"gpues/internal/vm"
+)
+
+// testSpec builds a vector-add launch: out[i] = a[i] + b[i], 8-byte
+// floats, one thread per element. placement selects the region kind of
+// the inputs; outKind that of the output.
+func testSpec(t *testing.T, blocks, threads int, inKind, outKind vm.RegionKind) LaunchSpec {
+	t.Helper()
+	n := blocks * threads
+	const (
+		aAddr = uint64(0x1000000)
+		bAddr = uint64(0x2000000)
+		oAddr = uint64(0x3000000)
+	)
+	mem := emu.NewMemory()
+	for i := 0; i < n; i++ {
+		mem.WriteF64(aAddr+uint64(i*8), float64(i))
+		mem.WriteF64(bAddr+uint64(i*8), float64(i)*2)
+	}
+
+	b := kernel.NewBuilder("vecadd")
+	pa := b.AddParam(aAddr)
+	pb := b.AddParam(bAddr)
+	po := b.AddParam(oAddr)
+	tid, ctaid, ntid := b.Reg(), b.Reg(), b.Reg()
+	gid, off, base, va, vb := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.S2R(tid, isa.SRTidX)
+	b.S2R(ctaid, isa.SRCtaIDX)
+	b.S2R(ntid, isa.SRNTidX)
+	b.IMad(gid, ctaid, ntid, tid)
+	b.Shl(off, gid, 3)
+	b.LoadParam(base, pa)
+	b.IAdd(base, base, off, 0)
+	b.LdGlobal(va, base, 0, 8)
+	b.LoadParam(base, pb)
+	b.IAdd(base, base, off, 0)
+	b.LdGlobal(vb, base, 0, 8)
+	b.FAdd(va, va, vb)
+	b.LoadParam(base, po)
+	b.IAdd(base, base, off, 0)
+	b.StGlobal(base, 0, va, 8)
+	b.Exit()
+	k := b.MustBuild()
+
+	size := uint64(n * 8)
+	if size < 4096 {
+		size = 4096
+	}
+	return LaunchSpec{
+		Launch: &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: blocks}, Block: kernel.Dim3{X: threads}},
+		Memory: mem,
+		Regions: []vm.Region{
+			{Name: "a", Base: aAddr, Size: size, Kind: inKind},
+			{Name: "b", Base: bAddr, Size: size, Kind: inKind},
+			{Name: "out", Base: oAddr, Size: size, Kind: outKind},
+		},
+	}
+}
+
+func TestFaultFreeRunCompletes(t *testing.T) {
+	cfg := config.Default()
+	spec := testSpec(t, 32, 128, vm.RegionGPUInit, vm.RegionGPUInit)
+	r, err := RunSpec(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+	if r.Blocks != 32 {
+		t.Errorf("blocks completed = %d, want 32", r.Blocks)
+	}
+	// 32 blocks x 4 warps x 16 instructions.
+	want := int64(32 * 4 * 16)
+	if r.Committed != want {
+		t.Errorf("committed = %d, want %d", r.Committed, want)
+	}
+	if r.FaultUnit.Raised != 0 {
+		t.Errorf("faults in a fault-free run: %+v", r.FaultUnit)
+	}
+	if r.IPC() <= 0 {
+		t.Error("IPC must be positive")
+	}
+	// Output data correct (functional check through the full stack).
+	for i := 0; i < 32*128; i++ {
+		want := float64(i) * 3
+		if got := spec.Memory.ReadF64(0x3000000 + uint64(i*8)); got != want {
+			t.Fatalf("out[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSchemePerformanceOrdering(t *testing.T) {
+	// Fault-free run: the baseline is the performance ceiling; wd-commit
+	// the floor (Section 5.2).
+	cycles := map[config.Scheme]int64{}
+	for _, sch := range []config.Scheme{
+		config.Baseline, config.WarpDisableCommit, config.WarpDisableLastCheck,
+		config.ReplayQueue, config.OperandLog,
+	} {
+		cfg := config.Default()
+		cfg.Scheme = sch
+		spec := testSpec(t, 32, 128, vm.RegionGPUInit, vm.RegionGPUInit)
+		r, err := RunSpec(cfg, spec)
+		if err != nil {
+			t.Fatalf("%v: %v", sch, err)
+		}
+		cycles[sch] = r.Cycles
+	}
+	t.Logf("cycles: %v", cycles)
+	if cycles[config.Baseline] > cycles[config.WarpDisableCommit] {
+		t.Errorf("baseline (%d cycles) slower than wd-commit (%d)",
+			cycles[config.Baseline], cycles[config.WarpDisableCommit])
+	}
+	if cycles[config.WarpDisableLastCheck] > cycles[config.WarpDisableCommit] {
+		t.Errorf("wd-lastcheck (%d) slower than wd-commit (%d)",
+			cycles[config.WarpDisableLastCheck], cycles[config.WarpDisableCommit])
+	}
+	if cycles[config.ReplayQueue] > cycles[config.WarpDisableLastCheck] {
+		t.Errorf("replay-queue (%d) slower than wd-lastcheck (%d)",
+			cycles[config.ReplayQueue], cycles[config.WarpDisableLastCheck])
+	}
+}
+
+func TestDemandPagingMigratesAndCompletes(t *testing.T) {
+	cfg := config.Default()
+	cfg.Scheme = config.ReplayQueue
+	cfg.DemandPaging = true
+	spec := testSpec(t, 16, 128, vm.RegionCPUInit, vm.RegionGPUInit)
+	s, err := New(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FaultUnit.Raised == 0 {
+		t.Fatal("demand paging run raised no faults")
+	}
+	if r.CPUFaults.Migrations == 0 {
+		t.Error("no migrations served")
+	}
+	if r.Blocks != 16 {
+		t.Errorf("blocks = %d, want 16", r.Blocks)
+	}
+	// After the run, the input pages must be GPU-resident.
+	as := s.AddressSpace()
+	if as.Classify(0x1000000) != vm.FaultNone {
+		t.Error("input page not migrated")
+	}
+	// Demand paging must be slower than the fault-free run.
+	base, err := RunSpec(config.Default(), testSpec(t, 16, 128, vm.RegionGPUInit, vm.RegionGPUInit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= base.Cycles {
+		t.Errorf("demand paging (%d cycles) not slower than resident run (%d)", r.Cycles, base.Cycles)
+	}
+}
+
+func TestDemandPagingBaselineStallOnFault(t *testing.T) {
+	// The stall-on-fault baseline must also complete demand paging runs
+	// (requests replay from microarchitectural state).
+	cfg := config.Default()
+	cfg.Scheme = config.Baseline
+	cfg.DemandPaging = true
+	spec := testSpec(t, 8, 128, vm.RegionCPUInit, vm.RegionGPUInit)
+	r, err := RunSpec(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FaultUnit.Raised == 0 {
+		t.Fatal("no faults raised")
+	}
+	if r.Blocks != 8 {
+		t.Errorf("blocks = %d, want 8", r.Blocks)
+	}
+	// No squashes in the baseline: instructions stall, never replay.
+	for _, st := range r.SMs {
+		if st.Squashed != 0 || st.Replays != 0 {
+			t.Errorf("baseline squashed=%d replays=%d, want 0/0", st.Squashed, st.Replays)
+		}
+	}
+}
+
+func TestPreemptibleFaultSquashesAndReplays(t *testing.T) {
+	cfg := config.Default()
+	cfg.Scheme = config.ReplayQueue
+	cfg.DemandPaging = true
+	spec := testSpec(t, 8, 128, vm.RegionCPUInit, vm.RegionGPUInit)
+	r, err := RunSpec(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var squashed, replays int64
+	for _, st := range r.SMs {
+		squashed += st.Squashed
+		replays += st.Replays
+	}
+	if squashed == 0 {
+		t.Error("preemptible scheme must squash faulting instructions")
+	}
+	if replays < squashed {
+		t.Errorf("replays (%d) < squashes (%d): some instructions never replayed", replays, squashed)
+	}
+}
+
+func TestLazyOutputLocalHandling(t *testing.T) {
+	// Output pages unallocated; compare CPU handling vs GPU-local
+	// handling (use case 2). Local handling must win under fault storms.
+	run := func(local bool) *Result {
+		cfg := config.Default()
+		cfg.Scheme = config.ReplayQueue
+		cfg.Local.Enabled = local
+		spec := testSpec(t, 32, 128, vm.RegionGPUInit, vm.RegionLazy)
+		r, err := RunSpec(cfg, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cpu := run(false)
+	gpu := run(true)
+	if cpu.FaultUnit.Raised == 0 || gpu.FaultUnit.Raised == 0 {
+		t.Fatal("lazy output run raised no faults")
+	}
+	if gpu.Local.Handled == 0 {
+		t.Error("local handler never ran")
+	}
+	if gpu.FaultUnit.RoutedLocal == 0 {
+		t.Error("no faults routed to the local handler")
+	}
+	if cpu.FaultUnit.RoutedLocal != 0 {
+		t.Error("faults routed locally with local handling disabled")
+	}
+	t.Logf("cpu=%d cycles, gpu-local=%d cycles", cpu.Cycles, gpu.Cycles)
+}
+
+func TestBlockSwitchingRunCompletes(t *testing.T) {
+	cfg := config.Default()
+	cfg.Scheme = config.ReplayQueue
+	cfg.DemandPaging = true
+	cfg.Scheduler.Enabled = true
+	spec := testSpec(t, 64, 128, vm.RegionCPUInit, vm.RegionGPUInit)
+	r, err := RunSpec(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks != 64 {
+		t.Errorf("blocks = %d, want 64", r.Blocks)
+	}
+	var out, in int64
+	for _, st := range r.SMs {
+		out += st.SwitchesOut
+		in += st.SwitchesIn
+	}
+	t.Logf("switches out=%d in=%d", out, in)
+	if out > 0 && in == 0 {
+		t.Error("blocks switched out but never restored")
+	}
+}
+
+func TestInvalidAccessAborts(t *testing.T) {
+	cfg := config.Default()
+	// Kernel writing far outside any registered region.
+	b := kernel.NewBuilder("wild")
+	addr := b.Reg()
+	b.MovI(addr, 0x7f00000000)
+	b.StGlobal(addr, 0, addr, 8)
+	b.Exit()
+	spec := LaunchSpec{
+		Launch: &kernel.Launch{Kernel: b.MustBuild(), Grid: kernel.Dim3{X: 1}, Block: kernel.Dim3{X: 32}},
+		Memory: emu.NewMemory(),
+	}
+	if _, err := RunSpec(cfg, spec); err == nil {
+		t.Fatal("invalid access must abort the simulation")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := config.Default()
+	if _, err := New(cfg, LaunchSpec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	cfg.System.NumSMs = 0
+	if _, err := New(cfg, testSpec(t, 1, 32, vm.RegionGPUInit, vm.RegionGPUInit)); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

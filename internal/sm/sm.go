@@ -1,0 +1,542 @@
+package sm
+
+import (
+	"gpues/internal/cache"
+	"gpues/internal/clock"
+	"gpues/internal/config"
+	"gpues/internal/emu"
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+	"gpues/internal/tlb"
+	"gpues/internal/vm"
+)
+
+// FaultSink receives page faults detected by the SM's memory pipeline.
+// It is implemented by the system-level exception unit (internal/core),
+// which routes faults to the CPU driver or the GPU-local handler.
+type FaultSink interface {
+	// RaiseFault reports a faulting page. resolved runs when the fault
+	// (its 64 KB handling region) has been resolved. The return value is
+	// the position of the fault in the global pending fault queue, which
+	// the local scheduler compares against its switch threshold.
+	RaiseFault(pageVA uint64, kind vm.FaultKind, smID int, resolved func()) int
+}
+
+// BlockSource hands out pending thread blocks (the global thread block
+// scheduler of Figure 1) and is notified of completions.
+type BlockSource interface {
+	// NextBlock returns the trace of the next pending block, or false
+	// when the grid is exhausted.
+	NextBlock(smID int) (*emu.BlockTrace, bool)
+	// BlockDone reports a completed block.
+	BlockDone(smID, blockID int)
+	// PendingBlocks returns how many blocks have not been issued yet.
+	PendingBlocks() int
+}
+
+// ContextMover moves block context to/from off-chip memory (the DRAM
+// model); done runs when the transfer completes.
+type ContextMover interface {
+	Move(bytes int, done func())
+}
+
+// Stats counts SM activity.
+type Stats struct {
+	Cycles          int64
+	ActiveCycles    int64 // cycles with at least one fetch or issue
+	Committed       int64
+	Issued          int64
+	Fetched         int64
+	GlobalMemInsts  int64
+	MemRequests     int64
+	Faults          int64
+	Squashed        int64
+	Replays         int64
+	BlocksRun       int64
+	SwitchesOut     int64
+	SwitchesIn      int64
+	ContextBytes    int64
+	IssueStallLog   int64 // operand log full
+	IssueStallScore int64 // scoreboard hazard
+}
+
+type blockState uint8
+
+const (
+	blockActive blockState = iota
+	blockDraining
+	blockSaving
+	blockOffChip
+	blockRestoring
+)
+
+// blockRT is a resident (or switched-out) thread block.
+type blockRT struct {
+	id    int
+	slot  int // SM block slot while active; -1 when off-chip
+	state blockState
+	warps []*warpRT
+
+	liveWarps     int // warps not done
+	barrierCount  int
+	logUsed       int // operand log entries in use
+	pendingFaults int // unresolved faults across its warps
+	contextBytes  int
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID  int
+	cfg *config.Config
+	q   *clock.Queue
+
+	l1    *cache.Cache
+	l1tlb *tlb.TLB
+	sink  FaultSink
+	src   BlockSource
+	mover ContextMover
+
+	launch        *kernel.Launch
+	occupancy     int // concurrent blocks this kernel supports
+	warpsPerBlock int
+	logPerBlock   int // operand log entries per block partition
+	blockBytes    int // architectural context size of one block
+
+	slots   []*blockRT // active block slots (nil = free)
+	offchip []*blockRT // switched-out blocks
+	// assigned counts blocks this SM currently owns in any state.
+	assigned int
+
+	warps     []*warpRT // all warp slots (occupancy * warpsPerBlock)
+	lastFetch int
+	lastIssue int
+
+	idle  bool // nothing proceeded last tick; sleep until next event
+	stats Stats
+
+	// OnEvent, when set, receives pipeline events for tests and tracing:
+	// kind is one of "fetch", "issue", "lastcheck", "commit", "squash";
+	// tIdx is the dynamic instruction's trace index within its warp.
+	OnEvent func(kind string, warp int, tIdx int32, cycle int64)
+}
+
+func (s *SM) event(kind string, w *warpRT, tIdx int32) {
+	if s.OnEvent != nil {
+		s.OnEvent(kind, w.idx, tIdx, s.q.Now())
+	}
+}
+
+// New builds an SM bound to its L1 cache, L1 TLB and the system-level
+// services.
+func New(id int, cfg *config.Config, q *clock.Queue, l1 *cache.Cache, l1tlb *tlb.TLB,
+	sink FaultSink, src BlockSource, mover ContextMover) *SM {
+	return &SM{
+		ID:    id,
+		cfg:   cfg,
+		q:     q,
+		l1:    l1,
+		l1tlb: l1tlb,
+		sink:  sink,
+		src:   src,
+		mover: mover,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (s *SM) Stats() Stats { return s.stats }
+
+// PrepareLaunch sizes the SM for a kernel launch: computes occupancy,
+// partitions the operand log among the resident blocks (Section 3.3),
+// and derives the per-block context size used by the switching cost
+// model.
+func (s *SM) PrepareLaunch(l *kernel.Launch) {
+	s.launch = l
+	s.occupancy = l.Occupancy(s.cfg.SM.MaxThreadBlocks, s.cfg.SM.MaxWarps,
+		s.cfg.SM.WarpSize, s.cfg.SM.RegisterFileKB, s.cfg.SM.SharedMemoryKB)
+	s.warpsPerBlock = l.WarpsPerBlock(s.cfg.SM.WarpSize)
+	if s.cfg.Scheme == config.OperandLog && s.occupancy > 0 {
+		s.logPerBlock = s.cfg.SM.OperandLog.Entries() / s.occupancy
+		if s.logPerBlock < 1 {
+			s.logPerBlock = 1
+		}
+	} else {
+		s.logPerBlock = 0
+	}
+	// Context of one block: registers of all threads (4 B units),
+	// static shared memory, and divergence/barrier control state.
+	regBytes := l.Kernel.RegsPerThread * 4 * l.ThreadsPerBlock()
+	s.blockBytes = regBytes + l.Kernel.SharedMemBytes + 64*s.warpsPerBlock
+
+	s.slots = make([]*blockRT, s.occupancy)
+	s.offchip = nil
+	s.assigned = 0
+	s.warps = make([]*warpRT, s.occupancy*s.warpsPerBlock)
+	s.lastFetch, s.lastIssue = 0, 0
+	s.idle = false
+}
+
+// Occupancy returns the number of concurrent blocks for the prepared
+// launch.
+func (s *SM) Occupancy() int { return s.occupancy }
+
+// FillBlocks pulls blocks from the source until all slots are occupied
+// or the grid is exhausted (initial batch at launch).
+func (s *SM) FillBlocks() {
+	for slot := range s.slots {
+		if s.slots[slot] == nil {
+			if !s.startBlock(slot) {
+				return
+			}
+		}
+	}
+}
+
+// startBlock activates the next pending block in the given slot.
+func (s *SM) startBlock(slot int) bool {
+	bt, ok := s.src.NextBlock(s.ID)
+	if !ok {
+		return false
+	}
+	s.activateBlock(slot, bt)
+	return true
+}
+
+// activateBlock installs a block trace into a slot.
+func (s *SM) activateBlock(slot int, bt *emu.BlockTrace) {
+	b := &blockRT{
+		id:           bt.BlockID,
+		slot:         slot,
+		state:        blockActive,
+		contextBytes: s.blockBytes,
+	}
+	b.warps = make([]*warpRT, len(bt.Warps))
+	for i := range bt.Warps {
+		w := &warpRT{
+			sm:    s,
+			block: b,
+			idx:   i,
+			trace: bt.Warps[i].Insts,
+		}
+		if len(w.trace) == 0 {
+			w.done = true
+		} else {
+			b.liveWarps++
+		}
+		b.warps[i] = w
+		s.warps[slot*s.warpsPerBlock+i] = w
+	}
+	// Blocks may have fewer warps than the slot width (never more).
+	for i := len(bt.Warps); i < s.warpsPerBlock; i++ {
+		s.warps[slot*s.warpsPerBlock+i] = nil
+	}
+	s.slots[slot] = b
+	s.assigned++
+	s.stats.BlocksRun++
+	s.wake()
+	if b.liveWarps == 0 {
+		s.blockFinished(b)
+	}
+}
+
+// wake marks the SM runnable; every event callback that changes SM
+// state calls it.
+func (s *SM) wake() { s.idle = false }
+
+// Idle reports whether the SM had nothing to do at its last tick and is
+// waiting for an event.
+func (s *SM) Idle() bool { return s.idle }
+
+// Done reports whether the SM has no resident or off-chip work.
+func (s *SM) Done() bool { return s.assigned == 0 }
+
+// Tick advances the SM by one cycle. Issue runs before fetch so a warp
+// whose buffered instruction issues this cycle can refill its buffer in
+// the same cycle (the instruction buffer is one entry deep), giving the
+// back-to-back fetch/issue cadence of the paper's timing diagrams.
+func (s *SM) Tick() {
+	s.stats.Cycles++
+	issued := s.doIssue()
+	fetched := s.doFetch()
+	if fetched || issued {
+		s.stats.ActiveCycles++
+	} else {
+		s.idle = true
+	}
+}
+
+// fetchWidth is how many warps may fetch per cycle (dual-ported
+// instruction cache).
+const fetchWidth = 2
+
+func (s *SM) doFetch() bool {
+	if len(s.warps) == 0 {
+		return false
+	}
+	budget := fetchWidth
+	n := len(s.warps)
+	start := s.lastFetch
+	for i := 0; i < n && budget > 0; i++ {
+		w := s.warps[(start+1+i)%n]
+		if w == nil || w.done || w.buf != nil || w.fetchBlock != fetchOK ||
+			w.atBarrier || w.faultsOutstanding > 0 || w.block.state != blockActive {
+			continue
+		}
+		idx, isReplay, ok := w.nextFetchIndex()
+		if !ok {
+			continue
+		}
+		ti := &w.trace[idx]
+		f := &flight{w: w, ti: ti, tIdx: idx, isReplay: isReplay}
+		if isReplay {
+			w.replay = w.replay[1:]
+			s.stats.Replays++
+		} else {
+			w.cursor++
+		}
+		w.buf = f
+		w.bufReady = s.q.Now() + 1
+		if ti.Static.IsControl() {
+			w.fetchBlock = fetchControl
+			w.fetchOwner = f
+		} else if ti.Static.IsGlobalMem() &&
+			(s.cfg.Scheme == config.WarpDisableCommit || s.cfg.Scheme == config.WarpDisableLastCheck) {
+			w.fetchBlock = fetchWarpDisable
+			w.fetchOwner = f
+			f.wdOwner = true
+		}
+		s.lastFetch = (start + 1 + i) % n
+		s.stats.Fetched++
+		s.event("fetch", w, idx)
+		budget--
+	}
+	return budget < fetchWidth
+}
+
+func (s *SM) doIssue() bool {
+	if len(s.warps) == 0 {
+		return false
+	}
+	budget := s.cfg.SM.IssueWidth
+	warpsLeft := s.cfg.SM.IssueWarps
+	unitBudget := map[isa.Unit]int{
+		isa.UnitMath:      s.cfg.SM.MathUnits,
+		isa.UnitSpecial:   s.cfg.SM.SpecialUnits,
+		isa.UnitLoadStore: s.cfg.SM.LoadStore,
+		isa.UnitBranch:    s.cfg.SM.BranchUnits,
+		isa.UnitNone:      budget,
+	}
+	n := len(s.warps)
+	start := s.lastIssue
+	// Loose round-robin starts after the last issuing warp; the greedy
+	// policy starts at it, so a warp keeps issuing until it stalls.
+	first := 1
+	if s.cfg.SM.GreedyIssue {
+		first = 0
+	}
+	issuedAny := false
+	for i := 0; i < n && budget > 0 && warpsLeft > 0; i++ {
+		w := s.warps[(start+first+i)%n]
+		if w == nil || w.done || w.buf == nil || w.bufReady > s.q.Now() ||
+			w.block.state != blockActive || w.faultsOutstanding > 0 {
+			continue
+		}
+		f := w.buf
+		unit := f.ti.Static.ExecUnit()
+		if unitBudget[unit] <= 0 {
+			continue
+		}
+		if f.isReplay {
+			var heldOwn []isa.Reg
+			if s.cfg.Scheme == config.ReplayQueue {
+				heldOwn = w.heldSrcs[f.tIdx]
+			}
+			checkSources := s.cfg.Scheme != config.ReplayQueue && s.cfg.Scheme != config.OperandLog
+			if !w.canIssueReplay(f, heldOwn, checkSources) {
+				s.stats.IssueStallScore++
+				continue
+			}
+		} else if !w.canIssue(f) {
+			s.stats.IssueStallScore++
+			continue
+		}
+		// Operand log capacity: loads/atomics hold one entry, stores
+		// two (address and data); allocation happens at issue
+		// (Section 3.3). Entries of squashed instructions stay held
+		// until their replay passes its TLB checks, so a replayed
+		// instruction does not allocate again.
+		logNeed := 0
+		if s.cfg.Scheme == config.OperandLog && f.global() {
+			logNeed = logEntriesFor(f.ti.Static)
+			if !f.isReplay {
+				if w.block.logUsed+logNeed > s.logPerBlock {
+					s.stats.IssueStallLog++
+					continue
+				}
+				w.block.logUsed += logNeed
+			}
+			f.logHeld = logNeed
+		}
+		// Issue: mark the scoreboard. A replayed instruction under the
+		// replay-queue scheme inherits the source holds it kept across
+		// the fault; under the operand-log scheme it reads from the log
+		// and takes no source holds at all.
+		if f.isReplay {
+			if f.ti.Static.Writes() {
+				w.setWritePending(f.ti.Static.Dst)
+			}
+			switch s.cfg.Scheme {
+			case config.ReplayQueue:
+				f.srcHeld = append(f.srcHeld[:0], w.heldSrcs[f.tIdx]...)
+				delete(w.heldSrcs, f.tIdx)
+			case config.OperandLog:
+				// No register file reads on replay.
+			default:
+				w.acquireSources(f)
+			}
+		} else {
+			w.acquire(f)
+		}
+		w.inFlight++
+		w.buf = nil
+		s.stats.Issued++
+		s.event("issue", w, f.tIdx)
+		s.q.After(1, func() { s.wake(); s.opRead(f) })
+		budget--
+		unitBudget[unit]--
+		warpsLeft--
+		s.lastIssue = (start + first + i) % n
+		issuedAny = true
+	}
+	return issuedAny
+}
+
+func logEntriesFor(in *isa.Instruction) int {
+	if in.Op == isa.OpStGlobal || in.Op == isa.OpAtomGlobal {
+		return 2
+	}
+	return 1
+}
+
+// opRead is the operand read stage, one cycle after issue. Source
+// scoreboards are released here in the baseline, warp-disable and
+// operand-log schemes; the replay-queue scheme defers the release of
+// global memory sources to the last TLB check (Section 3.2).
+func (s *SM) opRead(f *flight) {
+	w := f.w
+	if !(s.cfg.Scheme == config.ReplayQueue && f.global()) {
+		w.releaseSources(f)
+	}
+	in := f.ti.Static
+	switch {
+	case in.Op == isa.OpBar:
+		s.arriveBarrier(f)
+	case in.Op == isa.OpExit:
+		s.q.After(1, func() { s.wake(); s.commit(f) })
+	case in.Op == isa.OpBra:
+		s.q.After(int64(s.cfg.SM.BranchLatency), func() { s.wake(); s.commit(f) })
+	case in.Op == isa.OpLdShared || in.Op == isa.OpStShared:
+		s.q.After(int64(s.cfg.SM.SharedLatency), func() { s.wake(); s.commit(f) })
+	case in.IsGlobalMem():
+		s.startMem(f)
+	case in.ExecUnit() == isa.UnitSpecial:
+		s.q.After(int64(s.cfg.SM.SpecialLatency), func() { s.wake(); s.commit(f) })
+	default:
+		s.q.After(int64(s.cfg.SM.MathLatency), func() { s.wake(); s.commit(f) })
+	}
+}
+
+// arriveBarrier handles a warp reaching bar.sync: the warp stalls until
+// every live warp of its block has arrived, then all their barrier
+// instructions commit together.
+func (s *SM) arriveBarrier(f *flight) {
+	w := f.w
+	b := w.block
+	w.atBarrier = true
+	w.barFlight = f
+	b.barrierCount++
+	if b.barrierCount >= b.liveWarps {
+		b.barrierCount = 0
+		for _, bw := range b.warps {
+			if bw.atBarrier {
+				bw.atBarrier = false
+				bf := bw.barFlight
+				bw.barFlight = nil
+				s.q.After(1, func() { s.wake(); s.commit(bf) })
+			}
+		}
+	}
+}
+
+// commit retires an instruction: scoreboard release, fetch unblocking,
+// warp/block completion checks, and drain progress for block switching.
+func (s *SM) commit(f *flight) {
+	if f.committed || f.squashed {
+		return
+	}
+	f.committed = true
+	w := f.w
+	s.event("commit", w, f.tIdx)
+	w.releaseDest(f)
+	// Replay-queue holds sources until last TLB check; a non-memory
+	// path never reaches here with holds, but guard for squash races.
+	w.releaseSources(f)
+	w.inFlight--
+	s.stats.Committed++
+	if f.global() {
+		s.stats.GlobalMemInsts++
+	}
+	if w.fetchOwner == f {
+		w.fetchBlock = fetchOK
+		w.fetchOwner = nil
+	}
+	s.afterDrainStep(w.block)
+	s.checkWarpDone(w)
+}
+
+// checkWarpDone marks the warp done when its trace is exhausted, and
+// completes the block when all warps are done.
+func (s *SM) checkWarpDone(w *warpRT) {
+	if w.done || !w.exhausted() || w.faultsOutstanding > 0 {
+		return
+	}
+	w.done = true
+	b := w.block
+	b.liveWarps--
+	// A warp that exits while others wait at a barrier can release it.
+	if b.liveWarps > 0 && b.barrierCount >= b.liveWarps {
+		b.barrierCount = 0
+		for _, bw := range b.warps {
+			if bw.atBarrier {
+				bw.atBarrier = false
+				bf := bw.barFlight
+				bw.barFlight = nil
+				s.q.After(1, func() { s.wake(); s.commit(bf) })
+			}
+		}
+	}
+	if b.liveWarps == 0 {
+		s.blockFinished(b)
+	}
+}
+
+// blockFinished releases the block's slot and pulls in the next work.
+func (s *SM) blockFinished(b *blockRT) {
+	slot := b.slot
+	s.slots[slot] = nil
+	for i := 0; i < s.warpsPerBlock; i++ {
+		s.warps[slot*s.warpsPerBlock+i] = nil
+	}
+	s.assigned--
+	s.src.BlockDone(s.ID, b.id)
+	s.refillSlot(slot)
+	s.wake()
+}
+
+// refillSlot chooses what to run in a freed slot: a ready off-chip
+// block first (restore), otherwise a fresh pending block.
+func (s *SM) refillSlot(slot int) {
+	if s.restoreReadyBlock(slot) {
+		return
+	}
+	s.startBlock(slot)
+}

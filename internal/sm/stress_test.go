@@ -1,0 +1,254 @@
+package sm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gpues/internal/config"
+	"gpues/internal/emu"
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+	"gpues/internal/vm"
+)
+
+// Randomized pipeline stress: generate random warp traces (ALU and
+// global memory instructions with random register dependencies), inject
+// faults on random pages, and check the pipeline's accounting
+// invariants — every instruction commits exactly once, every squash is
+// replayed, and the scoreboards are clean at the end.
+
+// randTrace builds a random trace of n instructions for one warp, plus
+// its backing static code. Page addresses come from the given pool.
+func randTrace(rng *rand.Rand, n int, pages []uint64, code *[]isa.Instruction) []emu.TraceInst {
+	full := ^uint32(0)
+	var insts []emu.TraceInst
+	for i := 0; i < n; i++ {
+		var in isa.Instruction
+		switch rng.Intn(5) {
+		case 0, 1: // ALU with random deps
+			in = isa.NewInstruction(isa.OpIAdd)
+			in.Dst = isa.Reg(rng.Intn(24))
+			in.SrcA = isa.Reg(rng.Intn(24))
+			in.SrcB = isa.Reg(rng.Intn(24))
+		case 2: // load
+			in = isa.NewInstruction(isa.OpLdGlobal)
+			in.Dst = isa.Reg(rng.Intn(24))
+			in.SrcA = isa.Reg(rng.Intn(24))
+			in.Size = 8
+		case 3: // store
+			in = isa.NewInstruction(isa.OpStGlobal)
+			in.SrcA = isa.Reg(rng.Intn(24))
+			in.SrcB = isa.Reg(rng.Intn(24))
+			in.Size = 8
+		case 4: // FMA chain
+			in = isa.NewInstruction(isa.OpFFma)
+			in.Dst = isa.Reg(rng.Intn(24))
+			in.SrcA = isa.Reg(rng.Intn(24))
+			in.SrcB = isa.Reg(rng.Intn(24))
+			in.SrcC = isa.Reg(rng.Intn(24))
+		}
+		*code = append(*code, in)
+		ti := emu.TraceInst{PC: int32(len(*code) - 1), Static: &(*code)[len(*code)-1], Mask: full}
+		if in.IsGlobalMem() {
+			nl := 1 + rng.Intn(3)
+			for j := 0; j < nl; j++ {
+				page := pages[rng.Intn(len(pages))]
+				ti.Lines = append(ti.Lines, page+uint64(rng.Intn(32))*128)
+			}
+		}
+		insts = append(insts, ti)
+	}
+	ex := isa.NewInstruction(isa.OpExit)
+	*code = append(*code, ex)
+	insts = append(insts, emu.TraceInst{PC: int32(len(*code) - 1), Static: &(*code)[len(*code)-1], Mask: full})
+	return insts
+}
+
+func stressOnce(t *testing.T, seed int64, scheme config.Scheme, inject bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pages := make([]uint64, 8)
+	for i := range pages {
+		pages[i] = uint64(0x100000 + i*0x1000)
+	}
+
+	var code []isa.Instruction
+	code = make([]isa.Instruction, 0, 4096) // stable backing array for Static pointers
+
+	const (
+		warps  = 4
+		blocks = 3
+	)
+	var traces []*emu.BlockTrace
+	total := 0
+	for b := 0; b < blocks; b++ {
+		bt := &emu.BlockTrace{BlockID: b}
+		for w := 0; w < warps; w++ {
+			insts := randTrace(rng, 20+rng.Intn(40), pages, &code)
+			total += len(insts)
+			bt.Warps = append(bt.Warps, emu.WarpTrace{WarpID: w, Insts: insts})
+		}
+		traces = append(traces, bt)
+	}
+
+	k := &kernel.Kernel{Name: "stress", Code: code, RegsPerThread: 48}
+	launch := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: blocks}, Block: kernel.Dim3{X: warps * 32}}
+	h := newHarnessCfg(t, scheme, traces, launch, func(cfg *config.Config) {
+		cfg.SM.MaxThreadBlocks = 2 // force one pending block
+	})
+
+	if inject {
+		// Random pages fault until resolved.
+		for _, p := range pages {
+			if rng.Intn(2) == 0 {
+				h.fault[p] = vm.FaultMigrate
+			}
+		}
+	}
+
+	// Drive with periodic fault resolution.
+	for i := 0; i < 1_000_000; i++ {
+		if h.sm.Done() {
+			break
+		}
+		if len(h.sink.pending) > 0 && rng.Intn(50) == 0 {
+			h.sink.resolveAll(int64(10 + rng.Intn(5000)))
+		}
+		if !h.sm.Idle() {
+			h.sm.Tick()
+			h.q.Step()
+		} else {
+			next, ok := h.q.NextEvent()
+			if !ok {
+				if len(h.sink.pending) > 0 {
+					h.sink.resolveAll(100)
+					continue
+				}
+				t.Fatalf("seed %d: deadlock at cycle %d with no pending faults", seed, h.q.Now())
+			}
+			h.q.SkipTo(next)
+		}
+	}
+	if !h.sm.Done() {
+		t.Fatalf("seed %d: SM never finished", seed)
+	}
+
+	st := h.sm.Stats()
+	// Every dynamic instruction commits exactly once; replays re-commit
+	// squashed ones, which the counter does not double-count.
+	if st.Committed != int64(total) {
+		t.Errorf("seed %d: committed %d of %d instructions", seed, st.Committed, total)
+	}
+	if st.Replays != st.Squashed {
+		t.Errorf("seed %d: %d squashes but %d replays", seed, st.Squashed, st.Replays)
+	}
+	if inject && scheme.Preemptible() && st.Faults > 0 && st.Squashed == 0 {
+		t.Errorf("seed %d: faults without squashes under %v", seed, scheme)
+	}
+	if h.src.done != blocks {
+		t.Errorf("seed %d: %d blocks completed, want %d", seed, h.src.done, blocks)
+	}
+}
+
+func TestStressFaultFree(t *testing.T) {
+	for _, scheme := range []config.Scheme{
+		config.Baseline, config.WarpDisableCommit, config.WarpDisableLastCheck,
+		config.ReplayQueue, config.OperandLog,
+	} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 10; seed++ {
+				stressOnce(t, seed, scheme, false)
+			}
+		})
+	}
+}
+
+func TestStressWithFaults(t *testing.T) {
+	for _, scheme := range []config.Scheme{
+		config.Baseline, config.WarpDisableCommit, config.WarpDisableLastCheck,
+		config.ReplayQueue, config.OperandLog,
+	} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			for seed := int64(100); seed < 115; seed++ {
+				stressOnce(t, seed, scheme, true)
+			}
+		})
+	}
+}
+
+// TestStressSchemesAgreeOnWork: all schemes retire the same instruction
+// count for the same trace (they differ only in timing).
+func TestStressSchemesAgreeOnWork(t *testing.T) {
+	counts := map[config.Scheme]int64{}
+	for _, scheme := range []config.Scheme{
+		config.Baseline, config.WarpDisableCommit, config.ReplayQueue, config.OperandLog,
+	} {
+		rng := rand.New(rand.NewSource(7))
+		pages := []uint64{0x100000, 0x101000}
+		var code []isa.Instruction
+		code = make([]isa.Instruction, 0, 1024)
+		bt := &emu.BlockTrace{BlockID: 0}
+		for w := 0; w < 2; w++ {
+			bt.Warps = append(bt.Warps, emu.WarpTrace{WarpID: w, Insts: randTrace(rng, 30, pages, &code)})
+		}
+		k := &kernel.Kernel{Name: "agree", Code: code, RegsPerThread: 48}
+		launch := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: 1}, Block: kernel.Dim3{X: 64}}
+		h := newHarness(t, scheme, []*emu.BlockTrace{bt}, launch)
+		h.run(1_000_000)
+		counts[scheme] = h.sm.Stats().Committed
+	}
+	want := counts[config.Baseline]
+	for s, c := range counts {
+		if c != want {
+			t.Errorf("%v committed %d, baseline %d", s, c, want)
+		}
+	}
+}
+
+// invariantCheck exposes scoreboard state for the stress tests.
+func (s *SM) scoreboardsClean() error {
+	for _, w := range s.warps {
+		if w == nil {
+			continue
+		}
+		for i, c := range w.pendRead {
+			if c != 0 {
+				return fmt.Errorf("warp %d: pendRead[r%d] = %d", w.idx, i, c)
+			}
+		}
+		for i, bits := range w.pendWrite {
+			if bits != 0 {
+				return fmt.Errorf("warp %d: pendWrite[%d] = %#x", w.idx, i, bits)
+			}
+		}
+	}
+	return nil
+}
+
+func TestScoreboardsCleanAfterRun(t *testing.T) {
+	bt, launch, _ := figure3Trace()
+	for _, scheme := range []config.Scheme{config.Baseline, config.ReplayQueue, config.OperandLog} {
+		h := newHarness(t, scheme, []*emu.BlockTrace{bt}, launch)
+		h.run(100000)
+		if err := h.sm.scoreboardsClean(); err != nil {
+			t.Errorf("%v: %v", scheme, err)
+		}
+	}
+}
+
+// TestGreedyIssuePolicy: the greedy-then-oldest scheduler is a valid
+// alternative policy — same committed work, different issue interleaving.
+func TestGreedyIssuePolicy(t *testing.T) {
+	for _, greedy := range []bool{false, true} {
+		bt, launch, _ := figure3Trace()
+		h := newHarnessCfg(t, config.Baseline, []*emu.BlockTrace{bt}, launch,
+			func(cfg *config.Config) { cfg.SM.GreedyIssue = greedy })
+		h.run(100000)
+		if got := h.sm.Stats().Committed; got != 5 {
+			t.Errorf("greedy=%v: committed %d, want 5", greedy, got)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package sm implements the cycle-level Streaming Multiprocessor
+// pipeline of Figure 1, including the paper's three preemptible
+// exception schemes (Section 3) and the per-SM local block scheduler of
+// use case 1 (Section 4.1, Figure 9).
+//
+// The pipeline models fetch, dual issue with scoreboarding and per-unit
+// ports, operand read, variable-latency execution (math, special
+// function, branch, shared and global memory pipelines) and
+// out-of-order commit. Global memory instructions go through the
+// coalescer, the per-SM L1 TLB and the L1 cache; translation misses
+// continue into the shared L2 TLB and the fill unit, where page faults
+// are detected.
+package sm
+
+import (
+	"gpues/internal/emu"
+	"gpues/internal/isa"
+	"gpues/internal/vm"
+)
+
+// fetchReason says why a warp's fetch is disabled.
+type fetchReason uint8
+
+const (
+	fetchOK fetchReason = iota
+	// fetchControl: a control-flow instruction was fetched; fetch
+	// resumes at its commit (baseline behaviour, Section 2.1).
+	fetchControl
+	// fetchWarpDisable: a global memory instruction was fetched under a
+	// warp-disable scheme; fetch resumes at its commit (wd-commit) or
+	// its last TLB check (wd-lastcheck).
+	fetchWarpDisable
+)
+
+// warpRT is the runtime state of one resident warp slot.
+type warpRT struct {
+	sm    *SM
+	block *blockRT
+	// idx is the warp index within its block.
+	idx   int
+	trace []emu.TraceInst
+	// cursor is the next trace index to fetch.
+	cursor int
+	// replay holds trace indices of squashed (faulted) instructions, in
+	// program order; they are re-fetched before cursor continues. This
+	// is the replay queue content of Section 3.2 from the timing
+	// perspective.
+	replay []int32
+
+	// buf is the fetched instruction awaiting issue (1-entry
+	// instruction buffer); bufReady is the cycle it becomes issuable.
+	buf      *flight
+	bufReady int64
+
+	fetchBlock fetchReason
+	// fetchOwner is the flight whose commit/last-check unblocks fetch.
+	fetchOwner *flight
+
+	// Scoreboards: pendWrite marks registers with an in-flight writer
+	// (released at commit); pendRead counts in-flight readers (released
+	// at operand read, or at last TLB check for global memory
+	// instructions under the replay-queue scheme).
+	pendWrite [4]uint64
+	pendRead  [isa.MaxRegs]uint8
+
+	inFlight          int
+	atBarrier         bool
+	barFlight         *flight
+	faultsOutstanding int
+	done              bool
+
+	// heldSrcs keeps, per squashed instruction (by trace index), the
+	// source registers whose pendRead holds survive the fault under the
+	// replay-queue scheme: the scheme releases global-memory sources
+	// only after a successful last TLB check, so a faulted instruction
+	// keeps blocking younger writers (no RAW on replay).
+	heldSrcs map[int32][]isa.Reg
+}
+
+// memReqState tracks one coalesced request of a memory instruction.
+type memReqState uint8
+
+const (
+	reqPending    memReqState = iota // translation in progress
+	reqTranslated                    // translation hit, cache access in flight
+	reqFaulted                       // translation faulted
+	reqDone                          // data returned / store accepted
+)
+
+type memReq struct {
+	line      uint64
+	state     memReqState
+	faultKind vm.FaultKind
+}
+
+// flight is one in-flight dynamic instruction.
+type flight struct {
+	w        *warpRT
+	ti       *emu.TraceInst
+	tIdx     int32
+	isReplay bool
+
+	// srcHeld are the source registers still holding pendRead.
+	srcHeld []isa.Reg
+	// global memory execution state.
+	reqs      []memReq
+	tlbRem    int // requests without a first translation result
+	reqRem    int // requests not yet done
+	faulted   bool
+	squashed  bool
+	logHeld   int  // operand log entries held by this instruction
+	wdOwner   bool // this flight disabled its warp's fetch (wd schemes)
+	committed bool
+}
+
+func (f *flight) global() bool { return f.ti.Static.IsGlobalMem() }
+
+// scoreboard helpers ---------------------------------------------------
+
+func regBit(r isa.Reg) (int, uint64) { return int(r) >> 6, 1 << (uint64(r) & 63) }
+
+func (w *warpRT) writePending(r isa.Reg) bool {
+	if r == isa.RegNone || r == isa.RZ {
+		return false
+	}
+	i, b := regBit(r)
+	return w.pendWrite[i]&b != 0
+}
+
+func (w *warpRT) setWritePending(r isa.Reg) {
+	if r == isa.RegNone || r == isa.RZ {
+		return
+	}
+	i, b := regBit(r)
+	w.pendWrite[i] |= b
+}
+
+func (w *warpRT) clearWritePending(r isa.Reg) {
+	if r == isa.RegNone || r == isa.RZ {
+		return
+	}
+	i, b := regBit(r)
+	w.pendWrite[i] &^= b
+}
+
+// canIssue checks the scoreboard hazards for the buffered instruction:
+// RAW (sources not pending a write), WAW (destination not pending a
+// write) and WAR (destination not pending reads).
+func (w *warpRT) canIssue(f *flight) bool {
+	in := f.ti.Static
+	for _, r := range [...]isa.Reg{in.SrcA, in.SrcB, in.SrcC, in.Pred} {
+		if w.writePending(r) {
+			return false
+		}
+	}
+	if in.Writes() {
+		if w.writePending(in.Dst) {
+			return false
+		}
+		if w.pendRead[in.Dst] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire marks the scoreboard for an issuing instruction.
+func (w *warpRT) acquire(f *flight) {
+	in := f.ti.Static
+	if in.Writes() {
+		w.setWritePending(in.Dst)
+	}
+	w.acquireSources(f)
+}
+
+// acquireSources takes the pendRead holds for the instruction's sources.
+func (w *warpRT) acquireSources(f *flight) {
+	in := f.ti.Static
+	f.srcHeld = f.srcHeld[:0]
+	for _, r := range [...]isa.Reg{in.SrcA, in.SrcB, in.SrcC, in.Pred} {
+		if r != isa.RegNone && r != isa.RZ {
+			w.pendRead[r]++
+			f.srcHeld = append(f.srcHeld, r)
+		}
+	}
+}
+
+// releaseSources drops the pendRead holds of the instruction (operand
+// read in the baseline; last TLB check for global memory under the
+// replay-queue scheme).
+func (w *warpRT) releaseSources(f *flight) {
+	for _, r := range f.srcHeld {
+		w.pendRead[r]--
+	}
+	f.srcHeld = f.srcHeld[:0]
+}
+
+// releaseDest drops the pendWrite hold (commit, or squash).
+func (w *warpRT) releaseDest(f *flight) {
+	in := f.ti.Static
+	if in.Writes() {
+		w.clearWritePending(in.Dst)
+	}
+}
+
+// insertReplay adds a trace index keeping program order.
+func (w *warpRT) insertReplay(idx int32) {
+	pos := len(w.replay)
+	for pos > 0 && w.replay[pos-1] > idx {
+		pos--
+	}
+	w.replay = append(w.replay, 0)
+	copy(w.replay[pos+1:], w.replay[pos:])
+	w.replay[pos] = idx
+}
+
+// nextFetchIndex returns the next trace index this warp would fetch,
+// preferring the replay list, and whether one exists.
+func (w *warpRT) nextFetchIndex() (int32, bool, bool) {
+	if len(w.replay) > 0 {
+		return w.replay[0], true, true
+	}
+	if w.cursor < len(w.trace) {
+		return int32(w.cursor), false, true
+	}
+	return 0, false, false
+}
+
+// exhausted reports whether the warp has nothing left to run.
+func (w *warpRT) exhausted() bool {
+	return w.cursor >= len(w.trace) && len(w.replay) == 0 && w.buf == nil && w.inFlight == 0
+}
+
+// canIssueReplay checks hazards for a replayed (previously squashed)
+// instruction. Under the replay-queue scheme its sources are still held
+// (they were never released), so only destination hazards matter, and
+// the instruction's own holds on its destination are discounted. Under
+// the operand-log scheme the replay reads its operands from the log
+// (Figure 8b), so source RAW does not apply at all.
+func (w *warpRT) canIssueReplay(f *flight, heldOwn []isa.Reg, checkSources bool) bool {
+	in := f.ti.Static
+	if checkSources {
+		for _, r := range [...]isa.Reg{in.SrcA, in.SrcB, in.SrcC, in.Pred} {
+			if w.writePending(r) {
+				return false
+			}
+		}
+	}
+	if in.Writes() {
+		if w.writePending(in.Dst) {
+			return false
+		}
+		pr := int(w.pendRead[in.Dst])
+		for _, r := range heldOwn {
+			if r == in.Dst {
+				pr--
+			}
+		}
+		if pr > 0 {
+			return false
+		}
+	}
+	return true
+}

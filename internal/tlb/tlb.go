@@ -1,0 +1,271 @@
+// Package tlb models the GPU's address translation hardware (Table 1):
+// a small private L1 TLB per SM, a large shared L2 TLB with MSHRs, and
+// the fill unit whose page table walkers resolve L2 misses at a fixed
+// walk latency. Walkers are the point where page faults are detected
+// (Figure 2, step 1).
+package tlb
+
+import (
+	"fmt"
+
+	"gpues/internal/clock"
+	"gpues/internal/vm"
+)
+
+// Result is the outcome of a translation: either the page is present in
+// the GPU page table, or the access faults with the given kind.
+type Result struct {
+	Present bool
+	Fault   vm.FaultKind
+}
+
+// Level is anything that can translate a page: an underlying TLB level
+// or the fill unit.
+type Level interface {
+	// Lookup translates the page containing pageVA; done receives the
+	// result. A false return means the level is full (MSHR/queue
+	// backpressure) and the caller must retry.
+	Lookup(pageVA uint64, done func(Result)) bool
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Hits    int64
+	Misses  int64
+	Merges  int64
+	Rejects int64
+	Faults  int64 // fault results delivered
+}
+
+// Config sizes a TLB level.
+type Config struct {
+	Name    string
+	Entries int
+	Ways    int
+	MSHRs   int // 0 means unbounded (L1 TLB misses are bounded by the LSU)
+	Latency int64
+}
+
+type tlbEntry struct {
+	vpn   uint64
+	valid bool
+	lru   int64
+}
+
+type tlbMSHR struct {
+	waiters []func(Result)
+}
+
+// TLB is one translation level backed by a lower Level.
+type TLB struct {
+	cfg      Config
+	sets     int
+	entries  [][]tlbEntry
+	pageSize uint64
+	q        *clock.Queue
+	next     Level
+	mshrs    map[uint64]*tlbMSHR
+	stats    Stats
+	tick     int64
+	waiters  []func()
+}
+
+// freeNotifier is implemented by levels that can call back when miss
+// resources free up.
+type freeNotifier interface{ OnFree(func()) }
+
+// OnFree registers fn to run when a TLB MSHR is released; rejected
+// callers use this instead of polling.
+func (t *TLB) OnFree(fn func()) { t.waiters = append(t.waiters, fn) }
+
+func (t *TLB) release() {
+	for len(t.waiters) > 0 && (t.cfg.MSHRs == 0 || len(t.mshrs) < t.cfg.MSHRs) {
+		fn := t.waiters[0]
+		t.waiters = t.waiters[1:]
+		fn()
+	}
+}
+
+// New builds a TLB with the given geometry over the next level.
+func New(cfg Config, pageSize int, q *clock.Queue, next Level) (*TLB, error) {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		return nil, fmt.Errorf("tlb %s: bad geometry %d entries / %d ways", cfg.Name, cfg.Entries, cfg.Ways)
+	}
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("tlb %s: page size %d", cfg.Name, pageSize)
+	}
+	sets := cfg.Entries / cfg.Ways
+	e := make([][]tlbEntry, sets)
+	for i := range e {
+		e[i] = make([]tlbEntry, cfg.Ways)
+	}
+	return &TLB{
+		cfg:      cfg,
+		sets:     sets,
+		entries:  e,
+		pageSize: uint64(pageSize),
+		q:        q,
+		next:     next,
+		mshrs:    make(map[uint64]*tlbMSHR),
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// InFlight returns the number of outstanding misses.
+func (t *TLB) InFlight() int { return len(t.mshrs) }
+
+func (t *TLB) vpn(va uint64) uint64 { return va / t.pageSize }
+
+func (t *TLB) find(vpn uint64) *tlbEntry {
+	set := int(vpn % uint64(t.sets))
+	for w := range t.entries[set] {
+		e := &t.entries[set][w]
+		if e.valid && e.vpn == vpn {
+			return e
+		}
+	}
+	return nil
+}
+
+func (t *TLB) install(vpn uint64) {
+	set := int(vpn % uint64(t.sets))
+	victim := &t.entries[set][0]
+	for w := range t.entries[set] {
+		e := &t.entries[set][w]
+		if !e.valid {
+			victim = e
+			break
+		}
+		if e.lru < victim.lru {
+			victim = e
+		}
+	}
+	t.tick++
+	*victim = tlbEntry{vpn: vpn, valid: true, lru: t.tick}
+}
+
+// Lookup implements Level.
+func (t *TLB) Lookup(pageVA uint64, done func(Result)) bool {
+	vpn := t.vpn(pageVA)
+	if e := t.find(vpn); e != nil {
+		t.stats.Hits++
+		t.tick++
+		e.lru = t.tick
+		t.q.After(t.cfg.Latency, func() { done(Result{Present: true}) })
+		return true
+	}
+	if m, ok := t.mshrs[vpn]; ok {
+		t.stats.Merges++
+		m.waiters = append(m.waiters, done)
+		return true
+	}
+	if t.cfg.MSHRs > 0 && len(t.mshrs) >= t.cfg.MSHRs {
+		t.stats.Rejects++
+		return false
+	}
+	t.stats.Misses++
+	m := &tlbMSHR{waiters: []func(Result){done}}
+	t.mshrs[vpn] = m
+	t.q.After(t.cfg.Latency, func() { t.issue(pageVA, vpn, m) })
+	return true
+}
+
+func (t *TLB) issue(pageVA, vpn uint64, m *tlbMSHR) {
+	ok := t.next.Lookup(pageVA, func(r Result) {
+		if r.Present {
+			t.install(vpn)
+		} else {
+			t.stats.Faults++
+		}
+		delete(t.mshrs, vpn)
+		for _, w := range m.waiters {
+			w(r)
+		}
+		t.release()
+	})
+	if !ok {
+		if fn, okN := t.next.(freeNotifier); okN {
+			fn.OnFree(func() { t.issue(pageVA, vpn, m) })
+		} else {
+			t.q.After(1, func() { t.issue(pageVA, vpn, m) })
+		}
+	}
+}
+
+// Flush invalidates all entries (kernel boundary).
+func (t *TLB) Flush() {
+	for s := range t.entries {
+		for w := range t.entries[s] {
+			t.entries[s][w] = tlbEntry{}
+		}
+	}
+}
+
+// FillUnit performs GPU page table walks on L2 TLB misses with a pool
+// of hardware walkers (Table 1: 64 walkers, 500-cycle walks). The
+// classify callback consults the GPU page table; non-present results
+// are page faults reported upward.
+type FillUnit struct {
+	q           *clock.Queue
+	walkers     int
+	walkLatency int64
+	busy        int
+	queue       []walkReq
+	classify    func(pageVA uint64) Result
+
+	// Walks and FaultsDetected count completed walks and those that
+	// ended in a fault.
+	Walks          int64
+	FaultsDetected int64
+}
+
+type walkReq struct {
+	pageVA uint64
+	done   func(Result)
+}
+
+// NewFillUnit builds the fill unit. classify must return the current
+// page table state for a page.
+func NewFillUnit(q *clock.Queue, walkers int, walkLatency int64, classify func(uint64) Result) (*FillUnit, error) {
+	if walkers <= 0 || walkLatency <= 0 || classify == nil {
+		return nil, fmt.Errorf("tlb: bad fill unit config (%d walkers, %d latency)", walkers, walkLatency)
+	}
+	return &FillUnit{q: q, walkers: walkers, walkLatency: walkLatency, classify: classify}, nil
+}
+
+// Lookup implements Level: it starts a page walk, queueing when all
+// walkers are busy.
+func (f *FillUnit) Lookup(pageVA uint64, done func(Result)) bool {
+	if f.busy < f.walkers {
+		f.startWalk(pageVA, done)
+	} else {
+		f.queue = append(f.queue, walkReq{pageVA: pageVA, done: done})
+	}
+	return true
+}
+
+// Busy returns the number of active walkers.
+func (f *FillUnit) Busy() int { return f.busy }
+
+// Queued returns the number of walks waiting for a walker.
+func (f *FillUnit) Queued() int { return len(f.queue) }
+
+func (f *FillUnit) startWalk(pageVA uint64, done func(Result)) {
+	f.busy++
+	f.q.After(f.walkLatency, func() {
+		f.busy--
+		f.Walks++
+		r := f.classify(pageVA)
+		if !r.Present {
+			f.FaultsDetected++
+		}
+		if len(f.queue) > 0 {
+			next := f.queue[0]
+			f.queue = f.queue[1:]
+			f.startWalk(next.pageVA, next.done)
+		}
+		done(r)
+	})
+}

@@ -1,0 +1,260 @@
+package tlb
+
+import (
+	"testing"
+
+	"gpues/internal/clock"
+	"gpues/internal/vm"
+)
+
+func drain(q *clock.Queue, max int64) {
+	for i := int64(0); i < max && q.Len() > 0; i++ {
+		q.Step()
+	}
+}
+
+// presentSet is a Level answering from a fixed set of present pages.
+type presentSet struct {
+	q       *clock.Queue
+	latency int64
+	present map[uint64]bool
+	lookups int
+}
+
+func (p *presentSet) Lookup(pageVA uint64, done func(Result)) bool {
+	p.lookups++
+	ok := p.present[pageVA&^4095]
+	p.q.After(p.latency, func() {
+		if ok {
+			done(Result{Present: true})
+		} else {
+			done(Result{Fault: vm.FaultMigrate})
+		}
+	})
+	return true
+}
+
+func l1Cfg() Config {
+	return Config{Name: "l1tlb", Entries: 32, Ways: 8, Latency: 1}
+}
+
+func TestTLBMissFillHit(t *testing.T) {
+	q := clock.New()
+	next := &presentSet{q: q, latency: 70, present: map[uint64]bool{0x10000: true}}
+	tl, err := New(l1Cfg(), 4096, q, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r1, r2 Result
+	var t1, t2 int64
+	tl.Lookup(0x10008, func(r Result) { r1, t1 = r, q.Now() })
+	drain(q, 1000)
+	if !r1.Present || t1 < 71 {
+		t.Errorf("miss result %+v at %d", r1, t1)
+	}
+	start := q.Now()
+	tl.Lookup(0x10100, func(r Result) { r2, t2 = r, q.Now() }) // same page
+	drain(q, 1000)
+	if !r2.Present || t2-start != 1 {
+		t.Errorf("hit result %+v latency %d, want 1", r2, t2-start)
+	}
+	s := tl.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if next.lookups != 1 {
+		t.Errorf("next lookups = %d, want 1", next.lookups)
+	}
+}
+
+func TestTLBFaultNotCached(t *testing.T) {
+	q := clock.New()
+	next := &presentSet{q: q, latency: 10, present: map[uint64]bool{}}
+	tl, _ := New(l1Cfg(), 4096, q, next)
+	var r Result
+	tl.Lookup(0x20000, func(res Result) { r = res })
+	drain(q, 100)
+	if r.Present || r.Fault != vm.FaultMigrate {
+		t.Errorf("fault result = %+v", r)
+	}
+	if tl.Stats().Faults != 1 {
+		t.Errorf("faults = %d", tl.Stats().Faults)
+	}
+	// The page becomes present (fault resolved); the next lookup must go
+	// to the backend again, not be served from a stale cached fault.
+	next.present[0x20000] = true
+	tl.Lookup(0x20000, func(res Result) { r = res })
+	drain(q, 100)
+	if !r.Present {
+		t.Error("lookup after resolution must be present")
+	}
+	if next.lookups != 2 {
+		t.Errorf("backend lookups = %d, want 2 (faults are not cached)", next.lookups)
+	}
+}
+
+func TestTLBMSHRMergeAndBackpressure(t *testing.T) {
+	q := clock.New()
+	next := &presentSet{q: q, latency: 100, present: map[uint64]bool{0x0: true, 0x1000: true, 0x2000: true}}
+	cfg := l1Cfg()
+	cfg.MSHRs = 2
+	tl, _ := New(cfg, 4096, q, next)
+	n := 0
+	tl.Lookup(0x0, func(Result) { n++ })
+	tl.Lookup(0x8, func(Result) { n++ }) // merges with first
+	tl.Lookup(0x1000, func(Result) { n++ })
+	if tl.Lookup(0x2000, func(Result) { n++ }) {
+		t.Error("third distinct page must be rejected with 2 MSHRs")
+	}
+	if tl.InFlight() != 2 {
+		t.Errorf("in flight = %d", tl.InFlight())
+	}
+	drain(q, 1000)
+	if n != 3 {
+		t.Errorf("completions = %d, want 3", n)
+	}
+	s := tl.Stats()
+	if s.Merges != 1 || s.Rejects != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTLBLRUReplacement(t *testing.T) {
+	q := clock.New()
+	present := map[uint64]bool{}
+	for i := uint64(0); i < 100; i++ {
+		present[i*4096] = true
+	}
+	next := &presentSet{q: q, latency: 1, present: present}
+	cfg := Config{Name: "tiny", Entries: 2, Ways: 2, Latency: 1}
+	tl, _ := New(cfg, 4096, q, next)
+	for _, p := range []uint64{0, 4096, 8192} {
+		tl.Lookup(p, func(Result) {})
+		drain(q, 100)
+	}
+	missesBefore := tl.Stats().Misses
+	tl.Lookup(0, func(Result) {}) // was LRU, evicted
+	drain(q, 100)
+	if tl.Stats().Misses != missesBefore+1 {
+		t.Error("LRU entry not evicted")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	q := clock.New()
+	next := &presentSet{q: q, latency: 1, present: map[uint64]bool{0: true}}
+	tl, _ := New(l1Cfg(), 4096, q, next)
+	tl.Lookup(0, func(Result) {})
+	drain(q, 100)
+	tl.Flush()
+	tl.Lookup(0, func(Result) {})
+	drain(q, 100)
+	if tl.Stats().Misses != 2 {
+		t.Errorf("misses after flush = %d, want 2", tl.Stats().Misses)
+	}
+}
+
+func TestTLBConfigValidation(t *testing.T) {
+	q := clock.New()
+	if _, err := New(Config{Entries: 0, Ways: 1}, 4096, q, nil); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if _, err := New(Config{Entries: 10, Ways: 3}, 4096, q, nil); err == nil {
+		t.Error("non-divisible ways accepted")
+	}
+	if _, err := New(Config{Entries: 8, Ways: 2}, 1000, q, nil); err == nil {
+		t.Error("bad page size accepted")
+	}
+}
+
+func TestFillUnitWalkAndFault(t *testing.T) {
+	q := clock.New()
+	pt, _ := vm.NewPageTable(4096)
+	pt.Set(0x5000, vm.PTE{State: vm.PageGPU, PA: 0x100000})
+	fu, err := NewFillUnit(q, 2, 500, func(va uint64) Result {
+		e := pt.Lookup(va)
+		if e.Present() {
+			return Result{Present: true}
+		}
+		return Result{Fault: vm.FaultAllocOnly}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rPresent, rFault Result
+	var tDone int64
+	fu.Lookup(0x5000, func(r Result) { rPresent, tDone = r, q.Now() })
+	fu.Lookup(0x9000, func(r Result) { rFault = r })
+	drain(q, 2000)
+	if !rPresent.Present || tDone != 500 {
+		t.Errorf("walk result %+v at %d, want present at 500", rPresent, tDone)
+	}
+	if rFault.Present || rFault.Fault != vm.FaultAllocOnly {
+		t.Errorf("fault result = %+v", rFault)
+	}
+	if fu.Walks != 2 || fu.FaultsDetected != 1 {
+		t.Errorf("walks=%d faults=%d", fu.Walks, fu.FaultsDetected)
+	}
+}
+
+func TestFillUnitWalkerPoolQueueing(t *testing.T) {
+	q := clock.New()
+	fu, _ := NewFillUnit(q, 2, 100, func(va uint64) Result { return Result{Present: true} })
+	var times []int64
+	for i := 0; i < 4; i++ {
+		fu.Lookup(uint64(i*4096), func(Result) { times = append(times, q.Now()) })
+	}
+	if fu.Busy() != 2 || fu.Queued() != 2 {
+		t.Errorf("busy=%d queued=%d, want 2/2", fu.Busy(), fu.Queued())
+	}
+	drain(q, 2000)
+	if len(times) != 4 {
+		t.Fatalf("completions = %d", len(times))
+	}
+	// First two finish at 100, next two at 200.
+	if times[0] != 100 || times[1] != 100 || times[2] != 200 || times[3] != 200 {
+		t.Errorf("completion times = %v, want [100 100 200 200]", times)
+	}
+}
+
+func TestFillUnitValidation(t *testing.T) {
+	q := clock.New()
+	if _, err := NewFillUnit(q, 0, 100, func(uint64) Result { return Result{} }); err == nil {
+		t.Error("zero walkers accepted")
+	}
+	if _, err := NewFillUnit(q, 1, 100, nil); err == nil {
+		t.Error("nil classify accepted")
+	}
+}
+
+// Chain test: L1 TLB -> L2 TLB -> fill unit, checking that a miss
+// traverses all levels and installs in both TLBs.
+func TestTwoLevelChain(t *testing.T) {
+	q := clock.New()
+	fu, _ := NewFillUnit(q, 64, 500, func(va uint64) Result { return Result{Present: true} })
+	l2, _ := New(Config{Name: "l2tlb", Entries: 1024, Ways: 8, MSHRs: 128, Latency: 70}, 4096, q, fu)
+	l1, _ := New(l1Cfg(), 4096, q, l2)
+
+	var done int64
+	l1.Lookup(0x7000, func(Result) { done = q.Now() })
+	drain(q, 5000)
+	// 1 (L1) + 70 (L2) + 500 (walk) = 571.
+	if done != 571 {
+		t.Errorf("cold lookup at %d, want 571", done)
+	}
+	// Second access to same page: L1 hit at 1 cycle.
+	start := q.Now()
+	l1.Lookup(0x7008, func(Result) { done = q.Now() })
+	drain(q, 100)
+	if done-start != 1 {
+		t.Errorf("warm lookup latency = %d, want 1", done-start)
+	}
+	// A different SM's L1 miss hits in L2: flush only L1.
+	l1.Flush()
+	start = q.Now()
+	l1.Lookup(0x7000, func(Result) { done = q.Now() })
+	drain(q, 1000)
+	if done-start != 71 {
+		t.Errorf("L2-hit lookup latency = %d, want 71", done-start)
+	}
+}

@@ -1,0 +1,109 @@
+package vm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SzymanskiLock implements Szymanski's n-process mutual exclusion
+// algorithm with linear wait, the algorithm the paper's prototype uses
+// for system-level synchronization between the CPU and the GPU memory
+// managers (Section 4.2). It relies only on single-writer shared flags,
+// which is what makes it usable across a non-coherent CPU-GPU
+// interconnect where atomic read-modify-write across the link is
+// expensive or unavailable.
+//
+// Flag protocol per process i (values 0..4):
+//
+//	0: non-critical section
+//	1: wants to enter, waiting for the door
+//	2: waiting for other processes in the entry room
+//	3: inside the entry room, door open
+//	4: door closed behind it, heading to the critical section
+type SzymanskiLock struct {
+	flags []atomic.Int32
+}
+
+// NewSzymanskiLock returns a lock for n processes (ids 0..n-1).
+func NewSzymanskiLock(n int) *SzymanskiLock {
+	return &SzymanskiLock{flags: make([]atomic.Int32, n)}
+}
+
+// N returns the number of participating processes.
+func (l *SzymanskiLock) N() int { return len(l.flags) }
+
+func (l *SzymanskiLock) spin(cond func() bool) {
+	for !cond() {
+		runtime.Gosched()
+	}
+}
+
+// Lock enters the critical section as process id.
+func (l *SzymanskiLock) Lock(id int) {
+	n := len(l.flags)
+	self := &l.flags[id]
+
+	// Stand in the doorway: declare intention.
+	self.Store(1)
+	l.spin(func() bool {
+		for i := 0; i < n; i++ {
+			if l.flags[i].Load() >= 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Cross the doorway.
+	self.Store(3)
+	// If someone else is still at stage 1, close ranks: wait for a
+	// process that has reached stage 4 (door closed).
+	waiting := false
+	for i := 0; i < n; i++ {
+		if i != id && l.flags[i].Load() == 1 {
+			waiting = true
+			break
+		}
+	}
+	if waiting {
+		self.Store(2)
+		l.spin(func() bool {
+			for i := 0; i < n; i++ {
+				if l.flags[i].Load() == 4 {
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	// Close the door.
+	self.Store(4)
+
+	// Wait for lower-numbered processes to leave the entry room
+	// (linear-wait priority).
+	l.spin(func() bool {
+		for i := 0; i < id; i++ {
+			if l.flags[i].Load() >= 2 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Unlock leaves the critical section as process id, waiting for
+// higher-numbered processes still between the doors.
+func (l *SzymanskiLock) Unlock(id int) {
+	n := len(l.flags)
+	l.spin(func() bool {
+		for i := id + 1; i < n; i++ {
+			f := l.flags[i].Load()
+			if f == 2 || f == 3 {
+				return false
+			}
+		}
+		return true
+	})
+	l.flags[id].Store(0)
+}

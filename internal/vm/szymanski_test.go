@@ -1,0 +1,75 @@
+package vm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSzymanskiMutualExclusion(t *testing.T) {
+	const (
+		procs = 8
+		iters = 200
+	)
+	l := NewSzymanskiLock(procs)
+	if l.N() != procs {
+		t.Fatalf("N = %d", l.N())
+	}
+	var inside atomic.Int32
+	var violations atomic.Int32
+	counter := 0 // unsynchronized except by the lock
+
+	var wg sync.WaitGroup
+	for id := 0; id < procs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock(id)
+				if inside.Add(1) != 1 {
+					violations.Add(1)
+				}
+				counter++
+				inside.Add(-1)
+				l.Unlock(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Errorf("%d mutual exclusion violations", v)
+	}
+	if counter != procs*iters {
+		t.Errorf("counter = %d, want %d (lost updates)", counter, procs*iters)
+	}
+}
+
+func TestSzymanskiSingleProcess(t *testing.T) {
+	l := NewSzymanskiLock(1)
+	for i := 0; i < 10; i++ {
+		l.Lock(0)
+		l.Unlock(0)
+	}
+}
+
+func TestSzymanskiTwoProcessesAlternating(t *testing.T) {
+	// CPU (0) vs GPU (1) handler contention, as in Section 4.2.
+	l := NewSzymanskiLock(2)
+	shared := make([]int, 0, 100)
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Lock(id)
+				shared = append(shared, id)
+				l.Unlock(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if len(shared) != 100 {
+		t.Errorf("appends = %d, want 100 (append race lost entries)", len(shared))
+	}
+}

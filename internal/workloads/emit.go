@@ -1,0 +1,71 @@
+package workloads
+
+import (
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+)
+
+// This file holds the small code-generation idioms shared by the
+// workload kernels.
+
+// emitGlobalTID emits gid = ctaid.x * ntid.x + tid.x into a fresh
+// register and returns it.
+func emitGlobalTID(b *kernel.Builder) isa.Reg {
+	tid := b.Reg()
+	ctaid := b.Reg()
+	ntid := b.Reg()
+	gid := b.Reg()
+	b.S2R(tid, isa.SRTidX)
+	b.S2R(ctaid, isa.SRCtaIDX)
+	b.S2R(ntid, isa.SRNTidX)
+	b.IMad(gid, ctaid, ntid, tid)
+	return gid
+}
+
+// uniformLoop emits a counted loop executing body n times; the trip
+// count is warp-uniform by construction. body receives the induction
+// register.
+func uniformLoop(b *kernel.Builder, n int64, body func(i isa.Reg)) {
+	i := b.Reg()
+	p := b.Reg()
+	b.MovI(i, 0)
+	top := b.Here()
+	body(i)
+	b.IAdd(i, i, isa.RZ, 1)
+	b.SetP(isa.CmpLT, p, i, isa.RZ, n)
+	b.BraIfUniform(p, false, top)
+}
+
+// divergentWhile emits a data-dependent loop: each lane iterates while
+// i < count (count is a per-lane register), diverging as lanes finish.
+// i must be initialized by the caller and is incremented per iteration.
+func divergentWhile(b *kernel.Builder, i, count isa.Reg, body func()) {
+	p := b.Reg()
+	exit := b.NewLabel()
+	top := b.Here()
+	b.SetP(isa.CmpGE, p, i, count, 0)
+	b.BraIf(p, false, exit, exit)
+	body()
+	b.IAdd(i, i, isa.RZ, 1)
+	b.Bra(top)
+	b.Bind(exit)
+}
+
+// emitLoadStream emits the lbm-style pointer-chase idiom: a load through
+// an address register immediately followed by an update of that same
+// register, creating the WAR hazard chain that distinguishes the
+// replay-queue scheme from the operand log (Section 5.2's lbm
+// discussion):
+//
+//	ld   dst, [addr]
+//	iadd addr, addr, stride
+func emitLoadStream(b *kernel.Builder, dst, addr isa.Reg, stride int64, size int) {
+	b.LdGlobal(dst, addr, 0, size)
+	b.IAdd(addr, addr, isa.RZ, stride)
+}
+
+// emitStoreStream is the store version of emitLoadStream.
+func emitStoreStream(b *kernel.Builder, val, addr isa.Reg, stride int64, size int) {
+	b.StGlobal(addr, 0, val, size)
+	b.IAdd(addr, addr, isa.RZ, stride)
+}

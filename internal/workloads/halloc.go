@@ -1,0 +1,399 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpues/internal/gpualloc"
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+	"gpues/internal/sim"
+	"gpues/internal/vm"
+)
+
+// Dynamic-allocation workloads (Section 5.4, Figure 13): four
+// Halloc-style benchmarks and the quad-tree SDK sample port. The device
+// heap is managed by the gpualloc allocator; builders run the
+// allocation sequence while generating the kernel, and the kernel then
+// touches the allocated chunks, producing the scattered first-touch
+// fault stream of device-side malloc. A small metadata region absorbs
+// the allocator's own atomic traffic.
+
+func init() {
+	register(Workload{
+		Name:        "halloc-spree",
+		Suite:       "halloc",
+		Description: "every thread allocates one 256 B chunk and fills it (pure allocation throughput)",
+		Build:       func(p Params) (sim.LaunchSpec, error) { return buildHallocFill(p, "halloc-spree", 256, 1, false) },
+	})
+	register(Workload{
+		Name:        "halloc-cycle",
+		Suite:       "halloc",
+		Description: "alloc/fill/free cycles per thread; freed chunks are reused by later threads",
+		Build:       func(p Params) (sim.LaunchSpec, error) { return buildHallocFill(p, "halloc-cycle", 512, 4, true) },
+	})
+	register(Workload{
+		Name:        "halloc-varsize",
+		Suite:       "halloc",
+		Description: "mixed allocation sizes (16 B - 512 B) across threads, stressing all slab classes",
+		Build:       buildHallocVarsize,
+	})
+	register(Workload{
+		Name:        "halloc-churn",
+		Suite:       "halloc",
+		Description: "fragmenting allocate-two-free-one churn across the heap",
+		Build:       buildHallocChurn,
+	})
+	register(Workload{
+		Name:        "quadtree",
+		Suite:       "sdk",
+		Description: "quad-tree construction with dynamically allocated nodes (ported CUDA SDK sample)",
+		Build:       buildQuadtree,
+	})
+}
+
+// hallocCtx couples a build context with a device heap.
+type hallocCtx struct {
+	*buildCtx
+	heap     *gpualloc.Allocator
+	heapBase uint64
+	metaBuf  uint64
+}
+
+// newHallocCtx reserves a heap of the given number of superblocks plus
+// the allocator metadata region.
+func newHallocCtx(p Params, superblocks int) (*hallocCtx, error) {
+	c := newBuildCtx(p.Seed)
+	// The heap must be superblock (1 MiB) aligned for the allocator.
+	c.next = (c.next + gpualloc.SuperblockSize - 1) &^ (gpualloc.SuperblockSize - 1)
+	heapSize := superblocks * gpualloc.SuperblockSize
+	heapBase := c.buffer("heap", heapSize, p.Placement.Outputs)
+	meta := c.buffer("alloc-meta", 64*1024, vm.RegionGPUInit)
+	heap, err := gpualloc.New(heapBase, uint64(heapSize))
+	if err != nil {
+		return nil, err
+	}
+	return &hallocCtx{buildCtx: c, heap: heap, heapBase: heapBase, metaBuf: meta}, nil
+}
+
+// emitHeapTouch emits the body of a "use this allocation" sequence: an
+// allocator metadata atomic, then stores covering the chunk.
+func emitHeapTouch(b *kernel.Builder, ptr, metaBase, one, scratch isa.Reg, size int) {
+	// Allocator bookkeeping: one atomic on a metadata word indexed by
+	// the chunk's superblock.
+	b.Shr(scratch, ptr, 20)
+	b.And(scratch, scratch, isa.RZ, 1023)
+	b.Shl(scratch, scratch, 3)
+	b.IAdd(scratch, scratch, metaBase, 0)
+	old := scratch // reuse: atomic result overwrites the address temp
+	b.AtomGlobal(isa.AtomAdd, old, scratch, one, isa.RegNone, 8)
+	// Fill the chunk with 8-byte stores.
+	addr := ptr
+	for off := 0; off < size; off += 64 {
+		// One store per 64 B keeps the instruction count moderate while
+		// still touching every cache line of the chunk.
+		b.StGlobal(addr, int64(off), one, 8)
+	}
+}
+
+// buildHallocFill: each thread performs `rounds` allocations of `size`
+// bytes, filling each; when freeing, each round's chunk is released
+// before the next thread allocates (heavy reuse).
+func buildHallocFill(p Params, name string, size, rounds int, free bool) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	threads := 16384 * p.Scale
+	superblocks := 8 * p.Scale * rounds
+	if free {
+		superblocks = 8 * p.Scale
+	}
+	c, err := newHallocCtx(p, superblocks+8)
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+
+	// Precompute the allocation addresses (the substitution for running
+	// malloc inside the kernel; see the package comment).
+	ptrBuf := c.buffer("ptrs", threads*rounds*8, vm.RegionGPUInit)
+	for t := 0; t < threads; t++ {
+		var mine []uint64
+		for r := 0; r < rounds; r++ {
+			a, err := c.heap.Alloc(t, size)
+			if err != nil {
+				return sim.LaunchSpec{}, fmt.Errorf("%s: %w", name, err)
+			}
+			c.mem.WriteU64(ptrBuf+uint64((t*rounds+r)*8), a)
+			mine = append(mine, a)
+		}
+		if free {
+			for _, a := range mine {
+				if err := c.heap.Free(a); err != nil {
+					return sim.LaunchSpec{}, err
+				}
+			}
+		}
+	}
+
+	b := kernel.NewBuilder(name)
+	pPtrs := b.AddParam(ptrBuf)
+	pMeta := b.AddParam(c.metaBuf)
+	gid := emitGlobalTID(b)
+	tmp := b.Reg()
+	tabA := b.Reg()
+	ptr := b.Reg()
+	one := b.Reg()
+	scratch := b.Reg()
+	metaBase := b.Reg()
+	b.MovI(one, 1)
+	b.LoadParam(metaBase, pMeta)
+	b.IMul(tabA, gid, isa.RZ, int64(rounds*8))
+	b.LoadParam(tmp, pPtrs)
+	b.IAdd(tabA, tabA, tmp, 0)
+	for r := 0; r < rounds; r++ {
+		b.LdGlobal(ptr, tabA, int64(r*8), 8)
+		emitHeapTouch(b, ptr, metaBase, one, scratch, size)
+	}
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: threads / 128}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}
+
+// buildHallocVarsize: sizes cycle through the slab classes by thread.
+func buildHallocVarsize(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	threads := 16384 * p.Scale
+	sizes := []int{16, 32, 64, 128, 256, 512}
+
+	c, err := newHallocCtx(p, 8*p.Scale+8)
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	ptrBuf := c.buffer("ptrs", threads*8, vm.RegionGPUInit)
+	for t := 0; t < threads; t++ {
+		a, err := c.heap.Alloc(t, sizes[t%len(sizes)])
+		if err != nil {
+			return sim.LaunchSpec{}, err
+		}
+		c.mem.WriteU64(ptrBuf+uint64(t*8), a)
+	}
+
+	b := kernel.NewBuilder("halloc-varsize")
+	pPtrs := b.AddParam(ptrBuf)
+	pMeta := b.AddParam(c.metaBuf)
+	gid := emitGlobalTID(b)
+	tmp := b.Reg()
+	tabA := b.Reg()
+	ptr := b.Reg()
+	one := b.Reg()
+	scratch := b.Reg()
+	metaBase := b.Reg()
+	b.MovI(one, 1)
+	b.LoadParam(metaBase, pMeta)
+	b.Shl(tabA, gid, 3)
+	b.LoadParam(tmp, pPtrs)
+	b.IAdd(tabA, tabA, tmp, 0)
+	b.LdGlobal(ptr, tabA, 0, 8)
+	// Touch up to 128 B (covers the small classes fully; larger chunks
+	// partially, like typical varsize consumers).
+	emitHeapTouch(b, ptr, metaBase, one, scratch, 128)
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: threads / 128}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}
+
+// buildHallocChurn: allocate two chunks, free the first, allocate a
+// third — the freed space is recycled, fragmenting occupancy across
+// superblocks.
+func buildHallocChurn(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	threads := 8192 * p.Scale
+	const size = 256
+
+	c, err := newHallocCtx(p, 12*p.Scale+8)
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	ptrBuf := c.buffer("ptrs", threads*2*8, vm.RegionGPUInit)
+	for t := 0; t < threads; t++ {
+		a1, err := c.heap.Alloc(t, size)
+		if err != nil {
+			return sim.LaunchSpec{}, err
+		}
+		a2, err := c.heap.Alloc(t, size)
+		if err != nil {
+			return sim.LaunchSpec{}, err
+		}
+		if err := c.heap.Free(a1); err != nil {
+			return sim.LaunchSpec{}, err
+		}
+		a3, err := c.heap.Alloc(t, size)
+		if err != nil {
+			return sim.LaunchSpec{}, err
+		}
+		c.mem.WriteU64(ptrBuf+uint64(t*16), a2)
+		c.mem.WriteU64(ptrBuf+uint64(t*16+8), a3)
+	}
+
+	b := kernel.NewBuilder("halloc-churn")
+	pPtrs := b.AddParam(ptrBuf)
+	pMeta := b.AddParam(c.metaBuf)
+	gid := emitGlobalTID(b)
+	tmp := b.Reg()
+	tabA := b.Reg()
+	ptr := b.Reg()
+	one := b.Reg()
+	scratch := b.Reg()
+	metaBase := b.Reg()
+	b.MovI(one, 1)
+	b.LoadParam(metaBase, pMeta)
+	b.Shl(tabA, gid, 4)
+	b.LoadParam(tmp, pPtrs)
+	b.IAdd(tabA, tabA, tmp, 0)
+	for r := 0; r < 2; r++ {
+		b.LdGlobal(ptr, tabA, int64(r*8), 8)
+		emitHeapTouch(b, ptr, metaBase, one, scratch, size)
+	}
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: threads / 128}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}
+
+// quadNode is the builder-side quad-tree node (64 B on the device:
+// 4 child pointers + bounds/data words).
+type quadNode struct {
+	addr     uint64
+	children [4]*quadNode
+	depth    int
+}
+
+const quadNodeSize = 64
+
+// buildQuadtree: points are inserted into a quad-tree whose nodes are
+// dynamically allocated (each node allocates its children on demand —
+// the paper's port of the CUDA SDK sample). The kernel walks each
+// point's path, reading child pointers from heap nodes, and writes the
+// point into its leaf.
+func buildQuadtree(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	points := 8192 * p.Scale
+	const maxDepth = 6
+
+	c, err := newHallocCtx(p, 8*p.Scale+8)
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+
+	// Build the tree: each point descends by quadrant (2 pseudo-random
+	// bits per level from the point id hash), allocating nodes on first
+	// use — exactly the allocation pattern the device code would have.
+	root := &quadNode{depth: 0}
+	root.addr, err = c.heap.Alloc(0, quadNodeSize)
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	depthBuf := c.buffer("depths", points*8, vm.RegionGPUInit)
+	leafBuf := c.buffer("leaves", points*8, vm.RegionGPUInit)
+	quadrant := func(pt, level int) int {
+		h := uint32(pt) * 2654435761
+		return int((h >> (2 * uint(level))) & 3)
+	}
+	for pt := 0; pt < points; pt++ {
+		n := root
+		depth := 1 + (pt*7+int(c.rng.Int31n(3)))%(maxDepth-1)
+		for lv := 0; lv < depth; lv++ {
+			qd := quadrant(pt, lv)
+			if n.children[qd] == nil {
+				child := &quadNode{depth: n.depth + 1}
+				child.addr, err = c.heap.Alloc(pt, quadNodeSize)
+				if err != nil {
+					return sim.LaunchSpec{}, err
+				}
+				n.children[qd] = child
+				// Write the child pointer into the parent node's slot.
+				c.mem.WriteU64(n.addr+uint64(qd*8), child.addr)
+			}
+			n = n.children[qd]
+		}
+		c.mem.WriteU64(depthBuf+uint64(pt*8), uint64(depth))
+		c.mem.WriteU64(leafBuf+uint64(pt*8), n.addr)
+	}
+
+	// Quadrant selectors are recomputed on the device from the point id
+	// with the same hash.
+	b := kernel.NewBuilder("quadtree")
+	pDepths := b.AddParam(depthBuf)
+	pLeaves := b.AddParam(leafBuf)
+	pMeta := b.AddParam(c.metaBuf)
+	pRoot := b.AddParam(root.addr)
+
+	gid := emitGlobalTID(b)
+	tmp := b.Reg()
+	depth := b.Reg()
+	node := b.Reg()
+	hash := b.Reg()
+	qd := b.Reg()
+	lv := b.Reg()
+	one := b.Reg()
+	scratch := b.Reg()
+	metaBase := b.Reg()
+	b.MovI(one, 1)
+	b.LoadParam(metaBase, pMeta)
+	b.Shl(tmp, gid, 3)
+	da := b.Reg()
+	b.LoadParam(da, pDepths)
+	b.IAdd(da, da, tmp, 0)
+	b.LdGlobal(depth, da, 0, 8)
+	b.LoadParam(node, pRoot)
+	b.IMul(hash, gid, isa.RZ, 2654435761)
+	b.And(hash, hash, isa.RZ, (1<<32)-1)
+	b.MovI(lv, 0)
+	divergentWhile(b, lv, depth, func() {
+		// qd = (hash >> 2*lv) & 3 ; node = node.children[qd]
+		b.Shl(qd, lv, 1)
+		b.Shr(scratch, hash, 0) // copy hash
+		sh := b.Reg()
+		b.Mov(sh, hash)
+		// scratch = hash >> (2*lv): Shr takes reg+imm shift amount.
+		shr := isa.NewInstruction(isa.OpShr)
+		shr.Dst, shr.SrcA, shr.SrcB = scratch, sh, qd
+		b.Emit(shr)
+		b.And(qd, scratch, isa.RZ, 3)
+		b.Shl(qd, qd, 3)
+		b.IAdd(qd, qd, node, 0)
+		b.LdGlobal(node, qd, 0, 8)
+	})
+	// Write the point into its leaf (matches the precomputed leaf).
+	leafA := b.Reg()
+	b.Shl(tmp, gid, 3)
+	b.LoadParam(leafA, pLeaves)
+	b.IAdd(leafA, leafA, tmp, 0)
+	leaf := b.Reg()
+	b.LdGlobal(leaf, leafA, 0, 8)
+	b.StGlobal(leaf, 32, gid, 8)
+	b.Shr(scratch, leaf, 20)
+	b.And(scratch, scratch, isa.RZ, 1023)
+	b.Shl(scratch, scratch, 3)
+	b.IAdd(scratch, scratch, metaBase, 0)
+	b.AtomGlobal(isa.AtomAdd, tmp, scratch, one, isa.RegNone, 8)
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: points / 128}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}

@@ -1,0 +1,340 @@
+package workloads
+
+import (
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+	"gpues/internal/sim"
+)
+
+// Compute-bound Parboil workloads: cutcp, mri-q, tpacf, mri-gridding.
+
+func init() {
+	register(Workload{
+		Name:        "cutcp",
+		Suite:       "parboil",
+		Description: "cutoff Coulomb potential: per-point loop over atoms with rsqrt, predicated cutoff, tiny memory footprint",
+		Build:       buildCutcp,
+	})
+	register(Workload{
+		Name:        "mri-q",
+		Suite:       "parboil",
+		Description: "MRI Q computation: sin/cos-heavy loop over k-space samples, highly cache-resident inputs",
+		Build:       buildMriQ,
+	})
+	register(Workload{
+		Name:        "tpacf",
+		Suite:       "parboil",
+		Description: "two-point angular correlation: pairwise dot products, sqrt/log chains, histogram atomics",
+		Build:       buildTpacf,
+	})
+	register(Workload{
+		Name:        "mri-gridding",
+		Suite:       "parboil",
+		Description: "MRI gridding: data-dependent per-sample work with two-orders-of-magnitude block imbalance, grid atomics",
+		Build:       buildMriGridding,
+	})
+}
+
+// buildCutcp: each thread evaluates the potential at one lattice point
+// against a shared atom list (the atom pages are read by every block —
+// maximal reuse).
+func buildCutcp(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	points := 16384 * p.Scale
+	const atoms = 24
+
+	c := newBuildCtx(p.Seed)
+	atomBuf := c.buffer("atoms", atoms*4*8, p.Placement.Inputs) // x,y,z,q
+	ptBuf := c.buffer("points", points*2*8, p.Placement.Inputs) // x,y
+	outBuf := c.buffer("potential", points*8, p.Placement.Outputs)
+	c.fillF64(atomBuf, atoms*4)
+	c.fillF64(ptBuf, points*2)
+
+	b := kernel.NewBuilder("cutcp")
+	pAtoms := b.AddParam(atomBuf)
+	pPts := b.AddParam(ptBuf)
+	pOut := b.AddParam(outBuf)
+
+	gid := emitGlobalTID(b)
+	tmp := b.Reg()
+	ptA := b.Reg()
+	px := b.Reg()
+	py := b.Reg()
+	b.Shl(ptA, gid, 4) // 2 coords x 8 B
+	b.LoadParam(tmp, pPts)
+	b.IAdd(ptA, ptA, tmp, 0)
+	b.LdGlobal(px, ptA, 0, 8)
+	b.LdGlobal(py, ptA, 8, 8)
+
+	acc := b.Reg()
+	ax := b.Reg()
+	ay := b.Reg()
+	aq := b.Reg()
+	dx := b.Reg()
+	dy := b.Reg()
+	r2 := b.Reg()
+	rinv := b.Reg()
+	atomA := b.Reg()
+	cutP := b.Reg()
+	cutoff := b.Reg()
+	b.MovI(acc, 0)
+	b.FMovI(cutoff, 0.25)
+	b.LoadParam(atomA, pAtoms)
+	uniformLoop(b, atoms, func(i isa.Reg) {
+		b.LdGlobal(ax, atomA, 0, 8)
+		b.LdGlobal(ay, atomA, 8, 8)
+		b.LdGlobal(aq, atomA, 24, 8)
+		b.IAdd(atomA, atomA, isa.RZ, 32)
+		b.FSub(dx, px, ax)
+		b.FSub(dy, py, ay)
+		b.FMul(r2, dx, dx)
+		b.FFma(r2, dy, dy, r2)
+		b.FRsqrt(rinv, r2)
+		// Within cutoff (r2 < cutoff): acc += q * rinv. Predicated FFMA.
+		b.FSetP(isa.CmpLT, cutP, r2, cutoff)
+		in := isa.NewInstruction(isa.OpFFma)
+		in.Dst, in.SrcA, in.SrcB, in.SrcC = acc, aq, rinv, acc
+		in.Pred = cutP
+		emitRaw(b, in)
+	})
+	outA := b.Reg()
+	b.Shl(outA, gid, 3)
+	b.LoadParam(tmp, pOut)
+	b.IAdd(outA, outA, tmp, 0)
+	b.StGlobal(outA, 0, acc, 8)
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: points / 128}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}
+
+// buildMriQ: Q[t] = sum_k phi[k] * (cos + sin of 2*pi*k.x[t]): the
+// special-function-unit-bound Parboil kernel.
+func buildMriQ(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	samples := 16384 * p.Scale
+	const kpoints = 24
+
+	c := newBuildCtx(p.Seed)
+	kBuf := c.buffer("kspace", kpoints*2*8, p.Placement.Inputs)
+	xBuf := c.buffer("x", samples*8, p.Placement.Inputs)
+	outBuf := c.buffer("Q", samples*2*8, p.Placement.Outputs)
+	c.fillF64(kBuf, kpoints*2)
+	c.fillF64(xBuf, samples)
+
+	b := kernel.NewBuilder("mri-q")
+	pK := b.AddParam(kBuf)
+	pX := b.AddParam(xBuf)
+	pOut := b.AddParam(outBuf)
+
+	gid := emitGlobalTID(b)
+	tmp := b.Reg()
+	xA := b.Reg()
+	x := b.Reg()
+	b.Shl(xA, gid, 3)
+	b.LoadParam(tmp, pX)
+	b.IAdd(xA, xA, tmp, 0)
+	b.LdGlobal(x, xA, 0, 8)
+
+	accR := b.Reg()
+	accI := b.Reg()
+	kv := b.Reg()
+	phi := b.Reg()
+	ang := b.Reg()
+	sv := b.Reg()
+	cv := b.Reg()
+	kA := b.Reg()
+	b.MovI(accR, 0)
+	b.MovI(accI, 0)
+	b.LoadParam(kA, pK)
+	uniformLoop(b, kpoints, func(i isa.Reg) {
+		b.LdGlobal(kv, kA, 0, 8)
+		b.LdGlobal(phi, kA, 8, 8)
+		b.IAdd(kA, kA, isa.RZ, 16)
+		b.FMul(ang, kv, x)
+		b.FSin(sv, ang)
+		b.FCos(cv, ang)
+		b.FFma(accR, phi, cv, accR)
+		b.FFma(accI, phi, sv, accI)
+	})
+	outA := b.Reg()
+	b.Shl(outA, gid, 4)
+	b.LoadParam(tmp, pOut)
+	b.IAdd(outA, outA, tmp, 0)
+	b.StGlobal(outA, 0, accR, 8)
+	b.StGlobal(outA, 8, accI, 8)
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: samples / 128}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}
+
+// buildTpacf: each thread correlates its point against a window of
+// others: dot product, sqrt/log chain, then a histogram atomic.
+func buildTpacf(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	points := 8192 * p.Scale
+	const window = 16
+	const bins = 64
+
+	c := newBuildCtx(p.Seed)
+	ptBuf := c.buffer("points", (points+window)*3*8, p.Placement.Inputs)
+	histBuf := c.buffer("hist", bins*8, p.Placement.Outputs)
+	c.fillF64(ptBuf, (points+window)*3)
+
+	b := kernel.NewBuilder("tpacf")
+	pPts := b.AddParam(ptBuf)
+	pHist := b.AddParam(histBuf)
+
+	gid := emitGlobalTID(b)
+	tmp := b.Reg()
+	pA := b.Reg()
+	x := b.Reg()
+	y := b.Reg()
+	z := b.Reg()
+	b.IMul(pA, gid, isa.RZ, 24)
+	b.LoadParam(tmp, pPts)
+	b.IAdd(pA, pA, tmp, 0)
+	b.LdGlobal(x, pA, 0, 8)
+	b.LdGlobal(y, pA, 8, 8)
+	b.LdGlobal(z, pA, 16, 8)
+
+	ox := b.Reg()
+	oy := b.Reg()
+	oz := b.Reg()
+	dot := b.Reg()
+	mag := b.Reg()
+	bin := b.Reg()
+	binA := b.Reg()
+	one := b.Reg()
+	old := b.Reg()
+	histBase := b.Reg()
+	b.MovI(one, 1)
+	b.LoadParam(histBase, pHist)
+	uniformLoop(b, window, func(i isa.Reg) {
+		b.LdGlobal(ox, pA, 24, 8)
+		b.LdGlobal(oy, pA, 32, 8)
+		b.LdGlobal(oz, pA, 40, 8)
+		b.IAdd(pA, pA, isa.RZ, 24)
+		b.FMul(dot, x, ox)
+		b.FFma(dot, y, oy, dot)
+		b.FFma(dot, z, oz, dot)
+		// angle proxy: bin = int(|log2(sqrt(dot^2) + 1)| * 8) & (bins-1)
+		b.FMul(mag, dot, dot)
+		b.FSqrt(mag, mag)
+		fone := b.Reg()
+		b.FMovI(fone, 1)
+		b.FAdd(mag, mag, fone)
+		b.FLog(mag, mag)
+		scale := b.Reg()
+		b.FMovI(scale, 8)
+		b.FMul(mag, mag, scale)
+		b.F2I(bin, mag)
+		b.And(bin, bin, isa.RZ, bins-1)
+		b.Shl(bin, bin, 3)
+		b.IAdd(binA, bin, histBase, 0)
+		b.AtomGlobal(isa.AtomAdd, old, binA, one, isa.RegNone, 8)
+	})
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: points / 128}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}
+
+// buildMriGridding: per-thread trip counts come from the input; most
+// blocks do little work, but one block per 16 carries a two-orders-of-
+// magnitude heavier load, reproducing the kernel's block imbalance
+// (Section 5.3's mri-gridding discussion).
+func buildMriGridding(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	samples := 8192 * p.Scale
+	const (
+		lightWork = 2
+		heavyWork = 350
+	)
+	blocks := samples / 128
+
+	c := newBuildCtx(p.Seed)
+	workBuf := c.buffer("work", samples*8, p.Placement.Inputs)
+	dataBuf := c.buffer("data", samples*8, p.Placement.Inputs)
+	gridBuf := c.buffer("grid", 16384*8, p.Placement.Outputs)
+	c.fillF64(dataBuf, samples)
+	// Heavy blocks recur at a fixed stride through the whole grid, so
+	// the in-order distribution spreads them almost evenly across SMs —
+	// and context switching, which perturbs which SM pulls which pending
+	// block, breaks that balance (Section 5.3's mri-gridding analysis).
+	for i := 0; i < samples; i++ {
+		w := uint64(lightWork)
+		if (i/128)%4 == 0 {
+			w = heavyWork
+		}
+		c.mem.WriteU64(workBuf+uint64(i*8), w)
+	}
+
+	// Sample staging buffers: 8 KB of shared memory (occupancy 4).
+	b := kernel.NewBuilder("mri-gridding").SetSharedMem(8 * 1024)
+	pWork := b.AddParam(workBuf)
+	pData := b.AddParam(dataBuf)
+	pGrid := b.AddParam(gridBuf)
+
+	gid := emitGlobalTID(b)
+	tmp := b.Reg()
+	wA := b.Reg()
+	count := b.Reg()
+	val := b.Reg()
+	b.Shl(wA, gid, 3)
+	b.LoadParam(tmp, pWork)
+	b.IAdd(wA, wA, tmp, 0)
+	b.LdGlobal(count, wA, 0, 8)
+	b.Shl(wA, gid, 3)
+	b.LoadParam(tmp, pData)
+	b.IAdd(wA, wA, tmp, 0)
+	b.LdGlobal(val, wA, 0, 8)
+
+	i := b.Reg()
+	wgt := b.Reg()
+	cell := b.Reg()
+	cellA := b.Reg()
+	one := b.Reg()
+	old := b.Reg()
+	gridBase := b.Reg()
+	b.MovI(i, 0)
+	b.MovI(one, 1)
+	b.LoadParam(gridBase, pGrid)
+	divergentWhile(b, i, count, func() {
+		// wgt = exp2(-val*i) flavoured arithmetic; cell = hash(gid, i)
+		b.I2F(wgt, i)
+		b.FMul(wgt, wgt, val)
+		b.FExp(wgt, wgt)
+		b.IMul(cell, i, isa.RZ, 2654435761)
+		b.IAdd(cell, cell, gid, 0)
+		b.And(cell, cell, isa.RZ, 16383)
+		b.Shl(cell, cell, 3)
+		b.IAdd(cellA, cell, gridBase, 0)
+		b.AtomGlobal(isa.AtomAdd, old, cellA, one, isa.RegNone, 8)
+	})
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: blocks}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}
+
+// emitRaw appends a hand-constructed instruction to the builder (used
+// for predicated ALU forms the helper methods do not cover).
+func emitRaw(b *kernel.Builder, in isa.Instruction) { b.Emit(in) }

@@ -1,0 +1,453 @@
+package workloads
+
+import (
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+	"gpues/internal/sim"
+)
+
+// Dense-compute Parboil workloads: sgemm, stencil, lbm, sad.
+
+func init() {
+	register(Workload{
+		Name:        "sgemm",
+		Suite:       "parboil",
+		Description: "dense matrix multiply, shared-memory tiled, compute bound with heavy inter-block reuse of B",
+		Build:       buildSGEMM,
+	})
+	register(Workload{
+		Name:        "stencil",
+		Suite:       "parboil",
+		Description: "5-point Jacobi stencil over a 2D grid, streaming with halo reuse between neighbouring blocks",
+		Build:       buildStencil,
+	})
+	register(Workload{
+		Name:        "lbm",
+		Suite:       "parboil",
+		Description: "lattice-Boltzmann step (D2Q9), 255 registers/thread forcing 8-warp occupancy, pointer-increment load chains",
+		Build:       buildLBM,
+	})
+	register(Workload{
+		Name:        "sad",
+		Suite:       "parboil",
+		Description: "sum of absolute differences block matching, integer streaming with reference reuse",
+		Build:       buildSAD,
+	})
+}
+
+// buildSGEMM: C[M x N] = A[M x K] * B[K x N], float64 row-major.
+// Each 128-thread block computes a 4 x 128 tile of C: its strip of A is
+// staged in shared memory, B columns are read coalesced from global
+// memory and fully reused across block rows.
+func buildSGEMM(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	const (
+		tileM = 4
+		tileN = 128
+		K     = 48
+	)
+	M := 256
+	N := 384 * p.Scale
+
+	c := newBuildCtx(p.Seed)
+	aBuf := c.buffer("A", M*K*8, p.Placement.Inputs)
+	bBuf := c.buffer("B", K*N*8, p.Placement.Inputs)
+	cBuf := c.buffer("C", M*N*8, p.Placement.Outputs)
+	c.fillF64(aBuf, M*K)
+	c.fillF64(bBuf, K*N)
+
+	// Staged A strip plus double-buffered B tile: 8 KB of shared memory
+	// caps occupancy at 4 blocks (16 warps), like the original's tiles.
+	b := kernel.NewBuilder("sgemm").SetSharedMem(8 * 1024)
+	pA := b.AddParam(aBuf)
+	pB := b.AddParam(bBuf)
+	pC := b.AddParam(cBuf)
+	pBlocksI := b.AddParam(uint64(M / tileM)) // blocks along M
+
+	tid := b.Reg()
+	ctaid := b.Reg()
+	bi := b.Reg() // block row index
+	bj := b.Reg() // block column index
+	blocksI := b.Reg()
+	tmp := b.Reg()
+	j := b.Reg() // this thread's C column
+	b.S2R(tid, isa.SRTidX)
+	b.S2R(ctaid, isa.SRCtaIDX)
+	b.LoadParam(blocksI, pBlocksI)
+
+	// bi = ctaid % blocksI; bj = ctaid / blocksI. blocksI is a power of
+	// two by construction (M = 32*scale, tileM = 4 -> 8*scale; require
+	// scale power of two is too strict, so compute with multiply-sub).
+	// bj = ctaid / blocksI via iterative subtract is wasteful; instead
+	// lay the grid out as bj-major and recover indices with IMul/ISub:
+	// since the emulator has no divide, the launch passes blocksI and
+	// the kernel uses repeated shift-free decomposition: grid is
+	// organized so that ctaid = bj*blocksI + bi.
+	// bj = high part: computed with multiply by reciprocal is overkill;
+	// use the fact that bi occupies log2(blocksI) bits when blocksI is a
+	// power of two. M/tileM = 8*scale: the builder rounds blocksI up to
+	// a power of two and pads the grid.
+	b.And(bi, ctaid, isa.RZ, int64(nextPow2(M/tileM)-1))
+	b.Shr(bj, ctaid, int64(log2(nextPow2(M/tileM))))
+
+	// Guard padded blocks: bi >= blocksI -> exit.
+	pred := b.Reg()
+	done := b.NewLabel()
+	b.SetP(isa.CmpGE, pred, bi, blocksI, 0)
+	b.BraIfUniform(pred, false, done)
+
+	// Stage the A strip (tileM x K) into shared memory: thread t copies
+	// elements t, t+128, ... of the strip.
+	aAddr := b.Reg()
+	sOff := b.Reg()
+	row := b.Reg()
+	col := b.Reg()
+	v := b.Reg()
+	// strip element e -> A[bi*tileM + e/K][e%K]
+	for e := 0; e < tileM*K/tileN; e++ { // tileM*K/128 iterations per thread
+		idx := b.Reg()
+		b.IAdd(idx, tid, isa.RZ, int64(e*tileN))
+		b.Shr(row, idx, int64(log2(K)))
+		b.And(col, idx, isa.RZ, int64(K-1))
+		// aAddr = A + ((bi*tileM+row)*K + col)*8
+		b.IMul(aAddr, bi, isa.RZ, tileM)
+		b.IAdd(aAddr, aAddr, row, 0)
+		b.IMul(aAddr, aAddr, isa.RZ, K)
+		b.IAdd(aAddr, aAddr, col, 0)
+		b.Shl(aAddr, aAddr, 3)
+		b.LoadParam(v, pA)
+		b.IAdd(aAddr, aAddr, v, 0)
+		b.LdGlobal(v, aAddr, 0, 8)
+		b.Shl(sOff, idx, 3)
+		b.StShared(sOff, 0, v, 8)
+	}
+	b.Bar()
+
+	// j = bj*tileN + tid; bAddr walks column j down B.
+	b.IMul(j, bj, isa.RZ, tileN)
+	b.IAdd(j, j, tid, 0)
+	bAddr := b.Reg()
+	b.Shl(bAddr, j, 3)
+	b.LoadParam(tmp, pB)
+	b.IAdd(bAddr, bAddr, tmp, 0)
+
+	acc := make([]isa.Reg, tileM)
+	for i := range acc {
+		acc[i] = b.Reg()
+		b.MovI(acc[i], 0)
+	}
+	bv := b.Reg()
+	av := b.Reg()
+	uniformLoop(b, K, func(k isa.Reg) {
+		b.LdGlobal(bv, bAddr, 0, 8)
+		b.IAdd(bAddr, bAddr, isa.RZ, int64(N*8))
+		for i := 0; i < tileM; i++ {
+			// shared[i*K + k]
+			b.IAdd(sOff, k, isa.RZ, int64(i*K))
+			b.Shl(sOff, sOff, 3)
+			b.LdShared(av, sOff, 0, 8)
+			b.FFma(acc[i], av, bv, acc[i])
+		}
+	})
+
+	// C[bi*tileM + i][j] = acc[i]
+	cAddr := b.Reg()
+	for i := 0; i < tileM; i++ {
+		b.IMul(cAddr, bi, isa.RZ, tileM)
+		b.IAdd(cAddr, cAddr, isa.RZ, int64(i))
+		b.IMul(cAddr, cAddr, isa.RZ, int64(N))
+		b.IAdd(cAddr, cAddr, j, 0)
+		b.Shl(cAddr, cAddr, 3)
+		b.LoadParam(tmp, pC)
+		b.IAdd(cAddr, cAddr, tmp, 0)
+		b.StGlobal(cAddr, 0, acc[i], 8)
+	}
+	b.Bind(done)
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	grid := nextPow2(M/tileM) * (N / tileN)
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: grid}, Block: kernel.Dim3{X: tileN}}
+	return c.spec(l), nil
+}
+
+// buildStencil: out[y][x] = c0*in[y][x] + c1*(N+S+E+W) over an NxN
+// float64 grid; one 128-thread block per row segment.
+func buildStencil(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	N := 256 * p.Scale // grid edge; rows are N wide
+	const (
+		seg          = 128
+		rowsPerBlock = 8 // the original's z-loop: each block sweeps a slab
+	)
+
+	c := newBuildCtx(p.Seed)
+	inBuf := c.buffer("in", N*N*8, p.Placement.Inputs)
+	outBuf := c.buffer("out", N*N*8, p.Placement.Outputs)
+	c.fillF64(inBuf, N*N)
+
+	// Halo staging buffers: 8 KB of shared memory (occupancy 4).
+	b := kernel.NewBuilder("stencil").SetSharedMem(8 * 1024)
+	pIn := b.AddParam(inBuf)
+	pOut := b.AddParam(outBuf)
+
+	tid := b.Reg()
+	ctaid := b.Reg()
+	y0 := b.Reg()
+	x := b.Reg()
+	segs := N / seg
+	b.S2R(tid, isa.SRTidX)
+	b.S2R(ctaid, isa.SRCtaIDX)
+	// y0 = 1 + (ctaid/segs)*rowsPerBlock ; x = (ctaid%segs)*seg + tid
+	b.Shr(y0, ctaid, int64(log2(segs)))
+	b.IMul(y0, y0, isa.RZ, rowsPerBlock)
+	b.IAdd(y0, y0, isa.RZ, 1)
+	b.And(x, ctaid, isa.RZ, int64(segs-1))
+	b.IMul(x, x, isa.RZ, seg)
+	b.IAdd(x, x, tid, 0)
+
+	// Interior-only x: edge lanes skip the whole slab.
+	pEdge := b.Reg()
+	skip := b.NewLabel()
+	recon := b.NewLabel()
+	b.SetP(isa.CmpEQ, pEdge, x, isa.RZ, 0)
+	tmp := b.Reg()
+	b.SetP(isa.CmpGE, tmp, x, isa.RZ, int64(N-1))
+	b.Or(pEdge, pEdge, tmp, 0)
+	b.BraIf(pEdge, false, skip, recon)
+
+	center := b.Reg()
+	sum := b.Reg()
+	v := b.Reg()
+	addr := b.Reg()
+	oaddr := b.Reg()
+	base := b.Reg()
+	obase := b.Reg()
+	cc := b.Reg()
+	ce := b.Reg()
+	b.FMovI(cc, 0.5)
+	b.FMovI(ce, 0.125)
+	b.LoadParam(base, pIn)
+	b.LoadParam(obase, pOut)
+	// addr walks down the slab one row per iteration.
+	b.IMul(addr, y0, isa.RZ, int64(N))
+	b.IAdd(addr, addr, x, 0)
+	b.Shl(addr, addr, 3)
+	b.IAdd(oaddr, addr, obase, 0)
+	b.IAdd(addr, addr, base, 0)
+	uniformLoop(b, rowsPerBlock, func(z isa.Reg) {
+		b.LdGlobal(center, addr, 0, 8)
+		b.LdGlobal(sum, addr, -8, 8) // west
+		b.LdGlobal(v, addr, 8, 8)    // east
+		b.FAdd(sum, sum, v)
+		b.LdGlobal(v, addr, int64(-N*8), 8) // north
+		b.FAdd(sum, sum, v)
+		b.LdGlobal(v, addr, int64(N*8), 8) // south
+		b.FAdd(sum, sum, v)
+		b.FMul(center, center, cc)
+		b.FFma(center, sum, ce, center)
+		b.StGlobal(oaddr, 0, center, 8)
+		b.IAdd(addr, addr, isa.RZ, int64(N*8))
+		b.IAdd(oaddr, oaddr, isa.RZ, int64(N*8))
+	})
+	b.Bind(skip)
+	b.Bind(recon)
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	grid := segs * ((N - 2) / rowsPerBlock)
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: grid}, Block: kernel.Dim3{X: seg}}
+	return c.spec(l), nil
+}
+
+// buildLBM: one D2Q9 lattice-Boltzmann collision+stream step over
+// `cells` sites. 9 distribution arrays in, 9 out, laid out SoA and
+// walked with the load/increment idiom. 255 registers per thread cap
+// the SM at 8 resident warps, starving it of TLP exactly like Parboil's
+// lbm (Section 5.2).
+func buildLBM(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	const (
+		dirs           = 7
+		cellsPerThread = 6 // each thread streams several sites, like the original's z-loop
+	)
+	cells := 18432 * p.Scale
+	threads := cells / cellsPerThread
+
+	c := newBuildCtx(p.Seed)
+	inBuf := c.buffer("f-in", dirs*cells*8, p.Placement.Inputs)
+	outBuf := c.buffer("f-out", dirs*cells*8, p.Placement.Outputs)
+	c.fillF64(inBuf, dirs*cells)
+
+	b := kernel.NewBuilder("lbm").SetRegsPerThread(255)
+	pIn := b.AddParam(inBuf)
+	pOut := b.AddParam(outBuf)
+
+	tid := b.Reg()
+	ctaid := b.Reg()
+	blockBase := b.Reg()
+	b.S2R(tid, isa.SRTidX)
+	b.S2R(ctaid, isa.SRCtaIDX)
+	// Each block owns a contiguous run of 128*cellsPerThread cells, so
+	// successive iterations of a warp stay on the same pages (L1 TLB
+	// resident) while each access is unit-stride across lanes.
+	b.IMul(blockBase, ctaid, isa.RZ, int64(128*cellsPerThread))
+	b.IAdd(blockBase, blockBase, tid, 0)
+	addr := b.Reg()
+	inBase := b.Reg()
+	outBase := b.Reg()
+	stride := int64(cells * 8)
+	b.LoadParam(inBase, pIn)
+	b.LoadParam(outBase, pOut)
+
+	f := make([]isa.Reg, dirs)
+	for d := range f {
+		f[d] = b.Reg()
+	}
+	rho := b.Reg()
+	ux := b.Reg()
+	uy := b.Reg()
+	w := b.Reg()
+	omega := b.Reg()
+	diff := b.Reg()
+	cell := b.Reg()
+	b.FMovI(w, 0.1111111)
+	b.FMovI(omega, 1.85)
+
+	uniformLoop(b, cellsPerThread, func(it isa.Reg) {
+		// cell = blockBase + it*128: block-contiguous grid stride.
+		b.IMul(cell, it, isa.RZ, 128)
+		b.IAdd(cell, cell, blockBase, 0)
+		// Load the distributions through one walking pointer — the
+		// ld/iadd chain on a single address register reused under
+		// register pressure is what makes lbm the replay-queue scheme's
+		// worst case (Section 5.2). The compiler interleaves collision
+		// arithmetic of the previous direction between the pairs.
+		b.Shl(addr, cell, 3)
+		b.IAdd(addr, addr, inBase, 0)
+		b.MovI(rho, 0)
+		for d := 0; d < dirs; d++ {
+			emitLoadStream(b, f[d], addr, stride, 8)
+			if d > 0 {
+				// Relaxation chain of the previous direction, independent
+				// of the in-flight load.
+				b.FFma(diff, uy, f[d-1], ux)
+				b.FAdd(diff, diff, rho)
+				b.FMul(diff, diff, w)
+				b.FSub(diff, diff, f[d-1])
+				b.FFma(f[d-1], omega, diff, f[d-1])
+				b.FAdd(rho, rho, f[d-1])
+			}
+		}
+		b.FMul(ux, rho, w)
+		b.FMul(uy, ux, w)
+		b.FFma(uy, ux, ux, uy)
+		last := dirs - 1
+		b.FFma(diff, uy, f[last], ux)
+		b.FAdd(diff, diff, rho)
+		b.FMul(diff, diff, w)
+		b.FSub(diff, diff, f[last])
+		b.FFma(f[last], omega, diff, f[last])
+		// Stream: write back through a walking pointer.
+		b.Shl(addr, cell, 3)
+		b.IAdd(addr, addr, outBase, 0)
+		for d := 0; d < dirs; d++ {
+			emitStoreStream(b, f[d], addr, stride, 8)
+		}
+	})
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: threads / 128}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}
+
+// buildSAD: block-matching sum of absolute differences. Each thread
+// evaluates one candidate position: 16 reference values (shared across
+// the warp, cache resident) against 16 frame values (streaming).
+func buildSAD(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	const window = 16
+	candidates := 32768 * p.Scale
+
+	c := newBuildCtx(p.Seed)
+	refBuf := c.buffer("ref", window*8, p.Placement.Inputs)
+	frameBuf := c.buffer("frame", (candidates+window)*8, p.Placement.Inputs)
+	outBuf := c.buffer("sad", candidates*8, p.Placement.Outputs)
+	c.fillU64(refBuf, window, 256)
+	c.fillU64(frameBuf, candidates+window, 256)
+
+	b := kernel.NewBuilder("sad")
+	pRef := b.AddParam(refBuf)
+	pFrame := b.AddParam(frameBuf)
+	pOut := b.AddParam(outBuf)
+
+	gid := emitGlobalTID(b)
+	refA := b.Reg()
+	frmA := b.Reg()
+	acc := b.Reg()
+	a := b.Reg()
+	d := b.Reg()
+	d2 := b.Reg()
+	tmp := b.Reg()
+	b.LoadParam(refA, pRef)
+	b.Shl(frmA, gid, 3)
+	b.LoadParam(tmp, pFrame)
+	b.IAdd(frmA, frmA, tmp, 0)
+	b.MovI(acc, 0)
+	uniformLoop(b, window, func(i isa.Reg) {
+		off := b.Reg()
+		b.Shl(off, i, 3)
+		ra := b.Reg()
+		b.IAdd(ra, refA, off, 0)
+		b.LdGlobal(a, ra, 0, 8)
+		fa := b.Reg()
+		b.IAdd(fa, frmA, off, 0)
+		b.LdGlobal(d, fa, 0, 8)
+		// |a - d| = max(a-d, d-a)
+		b.ISub(d2, a, d)
+		b.ISub(d, d, a)
+		b.IMax(d, d, d2)
+		b.IAdd(acc, acc, d, 0)
+	})
+	outA := b.Reg()
+	b.Shl(outA, gid, 3)
+	b.LoadParam(tmp, pOut)
+	b.IAdd(outA, outA, tmp, 0)
+	b.StGlobal(outA, 0, acc, 8)
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: candidates / 128}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}
+
+// nextPow2 rounds n up to a power of two.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// log2 of a power of two.
+func log2(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}

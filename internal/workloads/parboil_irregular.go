@@ -1,0 +1,290 @@
+package workloads
+
+import (
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+	"gpues/internal/sim"
+)
+
+// Irregular-memory Parboil workloads: spmv, bfs, histo.
+
+func init() {
+	register(Workload{
+		Name:        "spmv",
+		Suite:       "parboil",
+		Description: "CSR sparse matrix-vector product: one thread per row, data-dependent trip counts, scattered x gathers",
+		Build:       buildSPMV,
+	})
+	register(Workload{
+		Name:        "bfs",
+		Suite:       "parboil",
+		Description: "one level of frontier BFS: adjacency gathers, divergent visit checks, CAS visits and frontier append atomics",
+		Build:       buildBFS,
+	})
+	register(Workload{
+		Name:        "histo",
+		Suite:       "parboil",
+		Description: "large histogram: streaming reads, scattered atomic increments over a multi-page bin array",
+		Build:       buildHisto,
+	})
+}
+
+// buildSPMV: y = A*x with A in CSR form. Thread per row; row lengths
+// are drawn from a skewed distribution so lanes of a warp finish at
+// different times (warp divergence).
+func buildSPMV(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	rows := 8192 * p.Scale
+	const avgNNZ = 12
+
+	c := newBuildCtx(p.Seed)
+	// Generate row lengths: mostly short, a tail of longer rows.
+	lens := make([]int, rows)
+	total := 0
+	for i := range lens {
+		l := 2 + c.rng.Intn(avgNNZ)
+		if c.rng.Intn(16) == 0 {
+			l += 4 * avgNNZ
+		}
+		lens[i] = l
+		total += l
+	}
+	rowPtrBuf := c.buffer("rowptr", (rows+1)*8, p.Placement.Inputs)
+	colBuf := c.buffer("col", total*8, p.Placement.Inputs)
+	valBuf := c.buffer("val", total*8, p.Placement.Inputs)
+	xBuf := c.buffer("x", rows*8, p.Placement.Inputs)
+	yBuf := c.buffer("y", rows*8, p.Placement.Outputs)
+
+	off := 0
+	for i := 0; i < rows; i++ {
+		c.mem.WriteU64(rowPtrBuf+uint64(i*8), uint64(off))
+		for j := 0; j < lens[i]; j++ {
+			c.mem.WriteU64(colBuf+uint64((off+j)*8), uint64(c.rng.Intn(rows)))
+			c.mem.WriteF64(valBuf+uint64((off+j)*8), c.rng.Float64())
+		}
+		off += lens[i]
+	}
+	c.mem.WriteU64(rowPtrBuf+uint64(rows*8), uint64(off))
+	c.fillF64(xBuf, rows)
+
+	b := kernel.NewBuilder("spmv")
+	pRowPtr := b.AddParam(rowPtrBuf)
+	pCol := b.AddParam(colBuf)
+	pVal := b.AddParam(valBuf)
+	pX := b.AddParam(xBuf)
+	pY := b.AddParam(yBuf)
+
+	gid := emitGlobalTID(b)
+	tmp := b.Reg()
+	rpA := b.Reg()
+	start := b.Reg()
+	end := b.Reg()
+	b.Shl(rpA, gid, 3)
+	b.LoadParam(tmp, pRowPtr)
+	b.IAdd(rpA, rpA, tmp, 0)
+	b.LdGlobal(start, rpA, 0, 8)
+	b.LdGlobal(end, rpA, 8, 8)
+
+	acc := b.Reg()
+	i := b.Reg()
+	colA := b.Reg()
+	valA := b.Reg()
+	col := b.Reg()
+	v := b.Reg()
+	xv := b.Reg()
+	xBase := b.Reg()
+	b.MovI(acc, 0)
+	b.Mov(i, start)
+	b.LoadParam(xBase, pX)
+	divergentWhile(b, i, end, func() {
+		// col = col[i]; v = val[i]; acc += v * x[col]
+		b.Shl(colA, i, 3)
+		b.LoadParam(tmp, pCol)
+		b.IAdd(colA, colA, tmp, 0)
+		b.LdGlobal(col, colA, 0, 8)
+		b.Shl(valA, i, 3)
+		b.LoadParam(tmp, pVal)
+		b.IAdd(valA, valA, tmp, 0)
+		b.LdGlobal(v, valA, 0, 8)
+		b.Shl(col, col, 3)
+		b.IAdd(col, col, xBase, 0)
+		b.LdGlobal(xv, col, 0, 8)
+		b.FFma(acc, v, xv, acc)
+	})
+	outA := b.Reg()
+	b.Shl(outA, gid, 3)
+	b.LoadParam(tmp, pY)
+	b.IAdd(outA, outA, tmp, 0)
+	b.StGlobal(outA, 0, acc, 8)
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: rows / 128}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}
+
+// buildBFS: one level of breadth-first search. Threads take frontier
+// nodes, gather adjacency lists, claim unvisited neighbours with CAS
+// and append them to the next frontier through an atomic cursor.
+func buildBFS(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	nodes := 16384 * p.Scale
+	const avgDeg = 8
+	frontier := nodes / 4
+
+	c := newBuildCtx(p.Seed)
+	degs := make([]int, frontier)
+	total := 0
+	for i := range degs {
+		degs[i] = 1 + c.rng.Intn(2*avgDeg)
+		total += degs[i]
+	}
+	frontBuf := c.buffer("frontier", frontier*8, p.Placement.Inputs)
+	adjPtrBuf := c.buffer("adjptr", (frontier+1)*8, p.Placement.Inputs)
+	adjBuf := c.buffer("adj", total*8, p.Placement.Inputs)
+	levelBuf := c.buffer("level", nodes*8, p.Placement.Outputs)
+	nextBuf := c.buffer("next", (total+64)*8, p.Placement.Outputs)
+	cursorBuf := c.buffer("cursor", 64, p.Placement.Outputs)
+
+	off := 0
+	for i := 0; i < frontier; i++ {
+		c.mem.WriteU64(frontBuf+uint64(i*8), uint64(c.rng.Intn(nodes)))
+		c.mem.WriteU64(adjPtrBuf+uint64(i*8), uint64(off))
+		for j := 0; j < degs[i]; j++ {
+			c.mem.WriteU64(adjBuf+uint64((off+j)*8), uint64(c.rng.Intn(nodes)))
+		}
+		off += degs[i]
+	}
+	c.mem.WriteU64(adjPtrBuf+uint64(frontier*8), uint64(off))
+
+	b := kernel.NewBuilder("bfs")
+	pAdjPtr := b.AddParam(adjPtrBuf)
+	pAdj := b.AddParam(adjBuf)
+	pLevel := b.AddParam(levelBuf)
+	pNext := b.AddParam(nextBuf)
+	pCursor := b.AddParam(cursorBuf)
+
+	gid := emitGlobalTID(b)
+	tmp := b.Reg()
+	a := b.Reg()
+	start := b.Reg()
+	end := b.Reg()
+	b.Shl(a, gid, 3)
+	b.LoadParam(tmp, pAdjPtr)
+	b.IAdd(a, a, tmp, 0)
+	b.LdGlobal(start, a, 0, 8)
+	b.LdGlobal(end, a, 8, 8)
+
+	i := b.Reg()
+	nbr := b.Reg()
+	lvlA := b.Reg()
+	old := b.Reg()
+	one := b.Reg()
+	zero := b.Reg()
+	slot := b.Reg()
+	pUnvisited := b.Reg()
+	b.Mov(i, start)
+	b.MovI(one, 1)
+	b.MovI(zero, 0)
+	divergentWhile(b, i, end, func() {
+		// nbr = adj[i]
+		b.Shl(a, i, 3)
+		b.LoadParam(tmp, pAdj)
+		b.IAdd(a, a, tmp, 0)
+		b.LdGlobal(nbr, a, 0, 8)
+		// try to claim: old = CAS(level[nbr], 0, 1)
+		b.Shl(lvlA, nbr, 3)
+		b.LoadParam(tmp, pLevel)
+		b.IAdd(lvlA, lvlA, tmp, 0)
+		b.AtomGlobal(isa.AtomCAS, old, lvlA, one, zero, 8)
+		// if old == 0 we claimed it: append to the next frontier.
+		visited := b.NewLabel()
+		recon := b.NewLabel()
+		b.SetP(isa.CmpNE, pUnvisited, old, isa.RZ, 0)
+		b.BraIf(pUnvisited, false, visited, recon)
+		b.LoadParam(tmp, pCursor)
+		b.AtomGlobal(isa.AtomAdd, slot, tmp, one, isa.RegNone, 8)
+		b.Shl(slot, slot, 3)
+		b.LoadParam(tmp, pNext)
+		b.IAdd(slot, slot, tmp, 0)
+		b.StGlobal(slot, 0, nbr, 8)
+		b.Bind(visited)
+		b.Bind(recon)
+	})
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	// The frontier array itself is read by block indexing only to keep
+	// the kernel focused on the gather/claim pattern.
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: frontier / 128}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}
+
+// buildHisto: each thread streams a strided slice of the input and
+// atomically increments one of 64K bins per element — the scattered
+// atomic pattern whose output pages make Figure 14's histo case.
+func buildHisto(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	elems := 131072 * p.Scale
+	const bins = 131072
+	const perThread = 4
+
+	c := newBuildCtx(p.Seed)
+	inBuf := c.buffer("in", elems*8, p.Placement.Inputs)
+	histBuf := c.buffer("hist", bins*8, p.Placement.Outputs)
+	c.fillU64(inBuf, elems, bins)
+
+	// Per-block privatized histogram staging (Parboil's design): 8 KB of
+	// shared memory, capping occupancy at 4 blocks.
+	b := kernel.NewBuilder("histo").SetSharedMem(8 * 1024)
+	pIn := b.AddParam(inBuf)
+	pHist := b.AddParam(histBuf)
+	threads := elems / perThread
+
+	gid := emitGlobalTID(b)
+	tmp := b.Reg()
+	inA := b.Reg()
+	vreg := b.Reg()
+	binA := b.Reg()
+	one := b.Reg()
+	old := b.Reg()
+	histBase := b.Reg()
+	b.Shl(inA, gid, 3)
+	b.LoadParam(tmp, pIn)
+	b.IAdd(inA, inA, tmp, 0)
+	b.LoadParam(histBase, pHist)
+	b.MovI(one, 1)
+	stride := int64(threads * 8)
+	mix := b.Reg()
+	uniformLoop(b, perThread, func(i isa.Reg) {
+		b.LdGlobal(vreg, inA, 0, 8)
+		b.IAdd(inA, inA, isa.RZ, stride)
+		// Bin computation: the original transforms pixel coordinates
+		// before binning; an integer mix chain models that work.
+		b.IMul(mix, vreg, isa.RZ, 2654435761)
+		b.Xor(mix, mix, vreg, 0)
+		b.Shr(mix, mix, 7)
+		b.IMul(mix, mix, isa.RZ, 0x9e3779b9)
+		b.Xor(mix, mix, vreg, 0)
+		b.Shr(mix, mix, 5)
+		b.IAdd(mix, mix, vreg, 0)
+		b.And(vreg, mix, isa.RZ, bins-1)
+		b.Shl(binA, vreg, 3)
+		b.IAdd(binA, binA, histBase, 0)
+		b.AtomGlobal(isa.AtomAdd, old, binA, one, isa.RegNone, 8)
+	})
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: threads / 128}, Block: kernel.Dim3{X: 128}}
+	return c.spec(l), nil
+}
