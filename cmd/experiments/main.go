@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated: table1, fig10, fig11, table2, fig12, fig13, fig14, scalability, ablations, all")
+		run      = flag.String("run", "all", "comma-separated: table1, fig10, fig11, table2, fig12, fig13, fig14, scalability, ablations, chaos, all (chaos is not part of all)")
 		scale    = flag.Int("scale", 0, "dataset scale (0 = per-figure default: 1 for fig10/11/14, 2 for fig12/13)")
 		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: the figure's full suite)")
 		progress = flag.Bool("progress", false, "print one line per completed simulation")
@@ -141,5 +141,13 @@ func main() {
 		for _, r := range rs {
 			show(r)
 		}
+	}
+	// Not part of "all": a robustness sweep, not a paper figure.
+	if want["chaos"] {
+		r, err := gpues.ChaosSweep(withScale(1))
+		if err != nil {
+			fail(err)
+		}
+		show(r)
 	}
 }

@@ -30,6 +30,9 @@ func main() {
 		switching = flag.Bool("switching", false, "enable thread block switching on fault (use case 1)")
 		local     = flag.Bool("local", false, "handle allocation-only faults on the GPU (use case 2)")
 		logKB     = flag.Int("log-kb", 16, "operand log size in KB (operand-log scheme)")
+		maxCycles = flag.Int64("max-cycles", 0, "abort with a stall report after this many cycles (0 = default)")
+		chaosLvl  = flag.Int("chaos-level", 0, "fault-injection level: 0 none, 1 timing noise, 2 transient faults, 3 fault storm")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection RNG seed (with -chaos-level)")
 		verbose   = flag.Bool("v", false, "print per-SM statistics")
 	)
 	flag.Parse()
@@ -71,6 +74,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.SM.OperandLog.SizeKB = *logKB
+	cfg.MaxCycles = *maxCycles
 	cfg.DemandPaging = *paging
 	cfg.Scheduler.Enabled = *switching
 	cfg.Local.Enabled = *local
@@ -99,10 +103,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res, err := gpues.Run(cfg, spec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var res *gpues.Result
+	if *chaosLvl > 0 {
+		plan, err := gpues.ChaosPlanForLevel(*chaosLvl, *chaosSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cr, err := gpues.RunChaos(cfg, spec, plan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res = cr.Result
+		fmt.Printf("chaos         level %d seed %d: %s\n", *chaosLvl, *chaosSeed, cr.Summary)
+		fmt.Printf("fingerprint   %#016x (%d events, %d walk faults injected)\n",
+			cr.Fingerprint, len(cr.Events), res.InjectedFaults)
+		if cr.OracleOK() {
+			fmt.Println("oracle        final memory matches functional re-execution")
+		} else {
+			fmt.Fprintf(os.Stderr, "oracle        MISMATCH: %d bytes diverge, first at %#x\n",
+				len(cr.Mismatches), cr.Mismatches[0].Addr)
+			os.Exit(1)
+		}
+	} else {
+		var err error
+		res, err = gpues.Run(cfg, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("workload      %s (scale %d, %d blocks of %d threads)\n",

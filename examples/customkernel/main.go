@@ -22,7 +22,7 @@ const (
 	yBase = uint64(0x2000000)
 )
 
-func buildSaxpy() *gpues.Kernel {
+func buildSaxpy() (*gpues.Kernel, error) {
 	b := gpues.NewKernelBuilder("saxpy")
 	pX := b.AddParam(xBase)
 	pY := b.AddParam(yBase)
@@ -72,7 +72,7 @@ func buildSaxpy() *gpues.Kernel {
 	b.FFma(y, a, x, y)
 	b.StGlobal(ya, 0, y, 8)
 	b.Exit()
-	return b.MustBuild()
+	return b.Build()
 }
 
 func main() {
@@ -87,9 +87,14 @@ func main() {
 		mem.WriteF64(yBase+uint64(i*8), 1.0)
 	}
 
+	k, err := buildSaxpy()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	spec := gpues.LaunchSpec{
 		Launch: &gpues.Launch{
-			Kernel: buildSaxpy(),
+			Kernel: k,
 			Grid:   gpues.Dim3{X: n / 256},
 			Block:  gpues.Dim3{X: 256},
 		},

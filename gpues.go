@@ -25,6 +25,7 @@ package gpues
 
 import (
 	"gpues/internal/cacti"
+	"gpues/internal/chaos"
 	"gpues/internal/config"
 	"gpues/internal/emu"
 	"gpues/internal/experiments"
@@ -91,6 +92,45 @@ func Run(cfg Config, spec LaunchSpec) (*Result, error) {
 // want to inspect the address space afterwards).
 func NewSimulator(cfg Config, spec LaunchSpec) (*Simulator, error) {
 	return sim.New(cfg, spec)
+}
+
+// Chaos testing ----------------------------------------------------------
+
+// ChaosConfig parameterizes deterministic fault injection; the zero
+// value injects nothing.
+type ChaosConfig = chaos.Config
+
+// ChaosPlan is a live, seeded injection plan.
+type ChaosPlan = chaos.Plan
+
+// ChaosEvent is one injected perturbation.
+type ChaosEvent = chaos.Event
+
+// ChaosResult is a chaos run's outcome: timing result, injected-event
+// log, and the restartability-oracle verdict.
+type ChaosResult = sim.ChaosResult
+
+// StallReport is the structured diagnostic of a non-completing run.
+type StallReport = sim.StallReport
+
+// StallError is the error carrying a StallReport (recover it with
+// errors.As).
+type StallError = sim.StallError
+
+// NewChaosPlan builds an injection plan from the config.
+func NewChaosPlan(cfg ChaosConfig) *ChaosPlan { return chaos.New(cfg) }
+
+// ChaosPlanForLevel returns a preset plan: 0 none, 1 timing noise,
+// 2 transient faults + back-pressure, 3 fault storm.
+func ChaosPlanForLevel(level int, seed int64) (*ChaosPlan, error) {
+	return chaos.ForLevel(level, seed)
+}
+
+// RunChaos runs the launch under the plan and diffs the final memory
+// against the functional oracle (restartability check). A nil plan runs
+// clean.
+func RunChaos(cfg Config, spec LaunchSpec, plan *ChaosPlan) (*ChaosResult, error) {
+	return sim.RunChaos(cfg, spec, plan)
 }
 
 // Workloads --------------------------------------------------------------
@@ -202,6 +242,13 @@ func SchemeScalability(opt ExperimentOptions) (*ExperimentResult, error) {
 // LocalHandlingScalability sweeps the GPU size for use case 2.
 func LocalHandlingScalability(opt ExperimentOptions) (*ExperimentResult, error) {
 	return experiments.LocalHandlingScalability(opt)
+}
+
+// ChaosSweep runs the preemptible schemes under deterministic fault
+// injection and reports the slowdown over clean runs; every chaos run
+// is checked against the functional oracle.
+func ChaosSweep(opt ExperimentOptions) (*ExperimentResult, error) {
+	return experiments.Chaos(opt)
 }
 
 // RunAblations sweeps the design parameters (switch threshold, extra

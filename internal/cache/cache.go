@@ -52,6 +52,7 @@ type line struct {
 
 type mshr struct {
 	waiters []func()
+	born    int64 // cycle the miss was allocated (leak detection)
 }
 
 // Config sizes a cache.
@@ -128,6 +129,26 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // InFlight returns the number of occupied MSHRs.
 func (c *Cache) InFlight() int { return len(c.mshrs) }
+
+// CheckInvariants validates the cache's structural state: MSHR
+// occupancy within capacity, and (when maxAge > 0) no outstanding miss
+// older than maxAge cycles — a stuck MSHR is a leaked miss.
+func (c *Cache) CheckInvariants(now, maxAge int64) []string {
+	var v []string
+	if len(c.mshrs) > c.cfg.MSHRs {
+		v = append(v, fmt.Sprintf("%s: %d MSHRs in flight exceed capacity %d",
+			c.cfg.Name, len(c.mshrs), c.cfg.MSHRs))
+	}
+	if maxAge > 0 {
+		for addr, m := range c.mshrs {
+			if age := now - m.born; age > maxAge {
+				v = append(v, fmt.Sprintf("%s: miss on line %#x outstanding for %d cycles (leak?)",
+					c.cfg.Name, addr, age))
+			}
+		}
+	}
+	return v
+}
 
 func (c *Cache) lineAddr(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineB-1) }
 
@@ -213,7 +234,7 @@ func (c *Cache) accessRead(addr uint64, done func()) bool {
 		return false
 	}
 	c.stats.Misses++
-	m := &mshr{waiters: []func(){done}}
+	m := &mshr{waiters: []func(){done}, born: c.q.Now()}
 	c.mshrs[addr] = m
 	// Tag lookup takes the access latency before the miss goes down.
 	c.q.After(c.cfg.Latency, func() { c.issueFetch(addr, m) })

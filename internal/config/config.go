@@ -230,6 +230,16 @@ type Config struct {
 	// LazyHeap leaves device-heap pages unallocated so first allocator
 	// touches fault (use-case 2, Figure 13).
 	LazyHeap bool
+
+	// MaxCycles aborts the simulation past this many cycles (a last-ditch
+	// livelock bound; the progress watchdog normally fires far earlier).
+	// 0 selects the simulator default.
+	MaxCycles int64
+	// ProgressWindow is the watchdog window in cycles: a run that makes
+	// no progress (no commits, no fault resolutions, no block or context
+	// movement) for a full window aborts with a structured stall report.
+	// 0 selects the simulator default; negative disables the watchdog.
+	ProgressWindow int64
 }
 
 // Default returns the Table 1 configuration with an NVLink interconnect

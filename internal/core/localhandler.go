@@ -54,6 +54,7 @@ type LocalHandler struct {
 	free   []int64 // handler slot next-free cycles (global pool)
 	allocs []*vm.PhysAllocator
 	stats  LocalStats
+	err    error
 }
 
 // NewLocalHandler builds the handler for numSMs SMs, partitioning the
@@ -85,6 +86,10 @@ func NewLocalHandler(q *clock.Queue, as *vm.AddressSpace, numSMs, granularity in
 // Stats returns a copy of the counters.
 func (h *LocalHandler) Stats() LocalStats { return h.stats }
 
+// Err returns the first local fault-resolution failure (partition
+// exhaustion); the simulator surfaces it instead of a panic.
+func (h *LocalHandler) Err() error { return h.err }
+
 // Service implements Resolver: it runs the handler on the faulting
 // warp's SM, allocating from that SM's partition.
 func (h *LocalHandler) Service(regionBase uint64, kind vm.FaultKind, smID int, done func()) {
@@ -107,7 +112,14 @@ func (h *LocalHandler) Service(regionBase uint64, kind vm.FaultKind, smID int, d
 	h.free[best] = start + h.cost
 	h.q.At(start+h.cost, func() {
 		if err := h.mapRegion(regionBase, smID); err != nil {
-			panic(fmt.Sprintf("core: local fault resolution failed: %v", err))
+			// Partition exhaustion: record for Simulator.firstError and
+			// leave the fault pending so the run aborts with a structured
+			// error instead of a panic.
+			if h.err == nil {
+				h.err = fmt.Errorf("core: local fault resolution at region %#x (SM %d) failed: %w",
+					regionBase, smID, err)
+			}
+			return
 		}
 		h.stats.Handled++
 		done()

@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // chunkBits selects the sparse-memory chunk size (64 KB).
@@ -157,6 +158,62 @@ func (m *Memory) Fill(addr uint64, n int) {
 	if n > 0 {
 		m.chunk(addr+uint64(n-1), true)
 	}
+}
+
+// Clone returns a deep copy of the memory, used to snapshot the initial
+// state before a run so the functional oracle can re-execute from it.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{chunks: make(map[uint64][]byte, len(m.chunks)), allocated: m.allocated}
+	for key, data := range m.chunks {
+		dup := make([]byte, chunkSize)
+		copy(dup, data)
+		c.chunks[key] = dup
+	}
+	return c
+}
+
+// Mismatch is one byte of disagreement between two memories.
+type Mismatch struct {
+	Addr      uint64
+	Got, Want byte
+}
+
+// Diff compares m (got) against want byte by byte, treating
+// unmaterialized chunks as zeros, and returns up to max mismatches
+// (max <= 0 means unbounded). Equal memories return nil.
+func (m *Memory) Diff(want *Memory, max int) []Mismatch {
+	seen := make(map[uint64]bool, len(m.chunks)+len(want.chunks))
+	for k := range m.chunks {
+		seen[k] = true
+	}
+	for k := range want.chunks {
+		seen[k] = true
+	}
+	keys := make([]uint64, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []Mismatch
+	for _, key := range keys {
+		a, b := m.chunks[key], want.chunks[key]
+		for off := 0; off < chunkSize; off++ {
+			var ga, gb byte
+			if a != nil {
+				ga = a[off]
+			}
+			if b != nil {
+				gb = b[off]
+			}
+			if ga != gb {
+				out = append(out, Mismatch{Addr: key<<chunkBits | uint64(off), Got: ga, Want: gb})
+				if max > 0 && len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
 }
 
 // String summarizes the memory for debugging.

@@ -58,6 +58,9 @@ func (d *Dispatcher) PendingBlocks() int { return d.total - d.next }
 // Completed returns the number of finished blocks.
 func (d *Dispatcher) Completed() int { return d.done }
 
+// Issued returns the number of blocks handed out to SMs so far.
+func (d *Dispatcher) Issued() int { return d.next }
+
 // AllDone reports whether every block of the grid has completed.
 func (d *Dispatcher) AllDone() bool { return d.done >= d.total }
 
@@ -82,15 +85,23 @@ type FaultStats struct {
 // delay here is what makes CPU-side handling the bottleneck (Section
 // 2.4).
 type FaultService struct {
-	q     *clock.Queue
-	link  *interconnect.Link
-	as    *vm.AddressSpace
-	gran  uint64
-	costs config.FaultCosts
-	toCyc func(us float64) int64
+	q       *clock.Queue
+	link    *interconnect.Link
+	as      *vm.AddressSpace
+	gran    uint64
+	costs   config.FaultCosts
+	toCyc   func(us float64) int64
+	delayer Delayer
 
 	cpuFree int64 // next cycle the CPU handler is free
 	stats   FaultStats
+	err     error
+}
+
+// Delayer is the chaos hook of the fault service: extra cycles added to
+// one fault-service round trip. A nil Delayer costs a pointer test.
+type Delayer interface {
+	ServiceDelay(regionBase uint64) int64
 }
 
 // NewFaultService builds the CPU fault service. toCycles converts
@@ -111,6 +122,13 @@ func NewFaultService(q *clock.Queue, link *interconnect.Link, as *vm.AddressSpac
 // Stats returns a copy of the counters.
 func (s *FaultService) Stats() FaultStats { return s.stats }
 
+// SetDelayer installs the chaos hook; nil removes it.
+func (s *FaultService) SetDelayer(d Delayer) { s.delayer = d }
+
+// Err returns the first fault-resolution failure (GPU memory
+// exhaustion); the simulator surfaces it instead of a panic.
+func (s *FaultService) Err() error { return s.err }
+
 // Service resolves the fault handling region containing regionBase:
 // after the CPU handler and interconnect occupancy, every registered
 // page of the region is mapped into GPU memory, and done runs. The
@@ -126,6 +144,11 @@ func (s *FaultService) Service(regionBase uint64, kind vm.FaultKind, smID int, d
 	}
 	s.stats.Served++
 	totalCycles := s.toCyc(total)
+	if s.delayer != nil {
+		if d := s.delayer.ServiceDelay(regionBase); d > 0 {
+			totalCycles += d
+		}
+	}
 	linkCycles := totalCycles - s.toCyc(s.costs.CPUHandleUS)
 	if linkCycles < 1 {
 		linkCycles = 1
@@ -148,9 +171,13 @@ func (s *FaultService) Service(regionBase uint64, kind vm.FaultKind, smID int, d
 	})
 	s.q.At(start+totalCycles, func() {
 		if err := s.mapRegion(regionBase); err != nil {
-			// Mapping can only fail on GPU memory exhaustion, which
-			// the modelled workloads never reach; surface loudly.
-			panic(fmt.Sprintf("host: fault resolution failed: %v", err))
+			// Mapping can only fail on GPU memory exhaustion. Record the
+			// error for Simulator.firstError and leave the fault pending:
+			// the run aborts with a structured error instead of a panic.
+			if s.err == nil {
+				s.err = fmt.Errorf("host: fault resolution at region %#x failed: %w", regionBase, err)
+			}
+			return
 		}
 		done()
 	})

@@ -18,11 +18,18 @@ type Stats struct {
 	StallCycles int64 // time requests waited for a free channel
 }
 
+// Jitter is the chaos hook of the link: it returns extra occupancy
+// cycles to add to one transfer. A nil Jitter costs a pointer test.
+type Jitter interface {
+	TransferJitter(cycles int64) int64
+}
+
 // Link is the CPU-GPU interconnect.
 type Link struct {
 	name     string
 	q        *clock.Queue
 	channels []int64 // nextFree cycle per channel
+	jitter   Jitter
 	stats    Stats
 }
 
@@ -40,12 +47,20 @@ func (l *Link) Name() string { return l.name }
 // Stats returns a copy of the counters.
 func (l *Link) Stats() Stats { return l.stats }
 
+// SetJitter installs the chaos hook; nil removes it.
+func (l *Link) SetJitter(j Jitter) { l.jitter = j }
+
 // Occupy reserves a channel for the given number of cycles and calls
 // done when the occupancy ends. Requests wait for the earliest-free
 // channel.
 func (l *Link) Occupy(cycles int64, done func()) {
 	if cycles <= 0 {
 		cycles = 1
+	}
+	if l.jitter != nil {
+		if j := l.jitter.TransferJitter(cycles); j > 0 {
+			cycles += j
+		}
 	}
 	now := l.q.Now()
 	best := 0

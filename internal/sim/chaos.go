@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+
+	"gpues/internal/chaos"
+	"gpues/internal/config"
+	"gpues/internal/emu"
+	"gpues/internal/kernel"
+)
+
+// DefaultInvariantInterval is the cycle period of the structural
+// invariant sweep during chaos runs when the plan does not choose one.
+const DefaultInvariantInterval = 100_000
+
+// AttachChaos wires a chaos plan through every injection hook of the
+// system — fill-unit walker, CPU fault service, interconnect, SMs —
+// binds it to the simulation clock, applies plan-level resource
+// exhaustion, and enables the periodic invariant sweep. A nil plan is a
+// no-op. Call before Run.
+func (s *Simulator) AttachChaos(p *chaos.Plan) {
+	if p == nil {
+		return
+	}
+	s.chaos = p
+	p.Bind(s.q.Now)
+	s.fu.SetInjector(p)
+	s.cpu.SetDelayer(p)
+	s.link.SetJitter(p)
+	for _, m := range s.sms {
+		m.SetChaos(p)
+	}
+	cfg := p.Config()
+	if cfg.ExhaustGPUMemory {
+		s.as.GPUPhys.Exhaust(cfg.LeaveGPUFrames)
+	}
+	interval := cfg.InvariantInterval
+	switch {
+	case interval == 0:
+		interval = DefaultInvariantInterval
+	case interval < 0:
+		interval = 0 // periodic sweep disabled; end-of-run sweep remains
+	}
+	s.sweepEvery = interval
+	s.nextSweep = interval
+}
+
+// ChaosResult is the outcome of a chaos run: the timing result plus the
+// injected-event log and the verdict of the restartability oracle.
+type ChaosResult struct {
+	*Result
+
+	// Events is the injected-fault log; Fingerprint hashes it, so equal
+	// seeds must yield equal fingerprints (bit-reproducibility).
+	Events      []chaos.Event
+	Fingerprint uint64
+	// Summary is the one-line per-kind injection count.
+	Summary string
+
+	// Mismatches holds up to maxOracleMismatches bytes on which the
+	// final memory disagrees with the functional oracle. Injected faults
+	// must never change architectural results, so any entry here is a
+	// restartability violation.
+	Mismatches []emu.Mismatch
+}
+
+const maxOracleMismatches = 16
+
+// OracleOK reports whether the final memory matched the oracle.
+func (r *ChaosResult) OracleOK() bool { return len(r.Mismatches) == 0 }
+
+// oracleMemory re-executes the whole grid functionally on mem (the
+// cloned initial memory) and returns it: the architectural reference
+// any timing run — however perturbed — must reproduce.
+func oracleMemory(l *kernel.Launch, mem *emu.Memory, lineSize int) (*emu.Memory, error) {
+	em, err := emu.New(l, mem, lineSize)
+	if err != nil {
+		return nil, err
+	}
+	for b := 0; b < l.Blocks(); b++ {
+		if _, err := em.EmulateBlock(b); err != nil {
+			return nil, err
+		}
+	}
+	return mem, nil
+}
+
+// RunChaos builds a simulator for cfg/spec, attaches the plan, runs the
+// launch, and checks the restartability property: the final functional
+// memory must be byte-identical to a pure functional re-execution of
+// the grid from the initial memory. A nil plan runs clean. The returned
+// ChaosResult carries the event log and fingerprint even when the run
+// itself fails (its Result is nil in that case).
+func RunChaos(cfg config.Config, spec LaunchSpec, plan *chaos.Plan) (*ChaosResult, error) {
+	initial := spec.Memory
+	if initial == nil {
+		return nil, fmt.Errorf("sim: launch spec needs memory")
+	}
+	snapshot := initial.Clone()
+
+	s, err := New(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.AttachChaos(plan)
+	r, err := s.Run()
+	cr := &ChaosResult{
+		Result:      r,
+		Events:      plan.Events(),
+		Fingerprint: plan.Fingerprint(),
+		Summary:     plan.Summary(),
+	}
+	if err != nil {
+		return cr, err
+	}
+	oracle, err := oracleMemory(spec.Launch, snapshot, cfg.SM.L1LineB)
+	if err != nil {
+		return cr, fmt.Errorf("sim: functional oracle failed: %w", err)
+	}
+	cr.Mismatches = spec.Memory.Diff(oracle, maxOracleMismatches)
+	return cr, nil
+}

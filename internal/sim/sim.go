@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"gpues/internal/cache"
+	"gpues/internal/chaos"
 	"gpues/internal/clock"
 	"gpues/internal/config"
 	"gpues/internal/core"
@@ -46,6 +47,9 @@ type Result struct {
 	Local      core.LocalStats
 	WalkFaults int64
 	Walks      int64
+	// InjectedFaults counts walk faults a chaos plan injected (included
+	// in WalkFaults).
+	InjectedFaults int64
 	// Derived totals.
 	Committed int64
 	Blocks    int
@@ -79,8 +83,18 @@ type Simulator struct {
 	local *core.LocalHandler
 	sms   []*sm.SM
 
-	// MaxCycles aborts runaway simulations.
+	// MaxCycles aborts runaway simulations (hard bound; the progress
+	// watchdog normally fires far earlier).
 	MaxCycles int64
+
+	// progressWindow is the watchdog window (0 disables the watchdog).
+	progressWindow int64
+
+	// chaos, when attached, is the active injection plan; sweepEvery and
+	// nextSweep schedule the periodic invariant sweep it enables.
+	chaos      *chaos.Plan
+	sweepEvery int64
+	nextSweep  int64
 }
 
 // DefaultMaxCycles bounds a single kernel simulation.
@@ -98,7 +112,17 @@ func New(cfg config.Config, spec LaunchSpec) (*Simulator, error) {
 		return nil, err
 	}
 
-	s := &Simulator{cfg: cfg, spec: spec, q: clock.New(), MaxCycles: DefaultMaxCycles}
+	s := &Simulator{cfg: cfg, spec: spec, q: clock.New(), MaxCycles: DefaultMaxCycles,
+		progressWindow: DefaultProgressWindow}
+	if cfg.MaxCycles > 0 {
+		s.MaxCycles = cfg.MaxCycles
+	}
+	switch {
+	case cfg.ProgressWindow > 0:
+		s.progressWindow = cfg.ProgressWindow
+	case cfg.ProgressWindow < 0:
+		s.progressWindow = 0
+	}
 
 	// Virtual memory substrate.
 	as, err := vm.NewAddressSpace(cfg.System.PageSize,
@@ -240,9 +264,33 @@ func (s *Simulator) Run() (*Result, error) {
 		return nil, err
 	}
 
+	var wd *watchdog
+	if s.progressWindow > 0 {
+		wd = &watchdog{window: s.progressWindow, lastSig: -1}
+	}
+	lastNow := int64(-1)
+
 	for !s.finished() {
-		if s.q.Now() > s.MaxCycles {
-			return nil, fmt.Errorf("sim: exceeded %d cycles (livelock?)", s.MaxCycles)
+		now := s.q.Now()
+		if err := s.firstError(); err != nil {
+			return nil, err
+		}
+		if now < lastNow {
+			return nil, s.stallError("invariant",
+				[]string{fmt.Sprintf("clock moved backwards: %d after %d", now, lastNow)})
+		}
+		lastNow = now
+		if now > s.MaxCycles {
+			return nil, s.stallError("max-cycles", nil)
+		}
+		if wd != nil && wd.observe(now, s.progressSignature()) {
+			return nil, s.stallError("watchdog", nil)
+		}
+		if s.sweepEvery > 0 && now >= s.nextSweep {
+			s.nextSweep = now + s.sweepEvery
+			if v := s.CheckInvariants(); len(v) > 0 {
+				return nil, s.stallError("invariant", v)
+			}
 		}
 		anyActive := false
 		for _, m := range s.sms {
@@ -262,13 +310,20 @@ func (s *Simulator) Run() (*Result, error) {
 		} else {
 			next, ok := s.q.NextEvent()
 			if !ok {
-				return nil, fmt.Errorf("sim: deadlock at cycle %d: all SMs idle with no pending events", s.q.Now())
+				return nil, s.stallError("deadlock", nil)
 			}
 			s.q.SkipTo(next)
 		}
 	}
 	if err := s.firstError(); err != nil {
 		return nil, err
+	}
+	if s.chaos != nil {
+		// End-of-run sweep: a run that completes while violating a
+		// structural invariant has silently corrupted its statistics.
+		if v := s.CheckInvariants(); len(v) > 0 {
+			return nil, s.stallError("invariant", v)
+		}
 	}
 	return s.collect(), nil
 }
@@ -289,22 +344,34 @@ func (s *Simulator) firstError() error {
 	if err := s.disp.Err(); err != nil {
 		return err
 	}
-	return s.funit.Err()
+	if err := s.funit.Err(); err != nil {
+		return err
+	}
+	if err := s.cpu.Err(); err != nil {
+		return err
+	}
+	if s.local != nil {
+		if err := s.local.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (s *Simulator) collect() *Result {
 	r := &Result{
-		Cycles:     s.q.Now(),
-		L2:         s.l2.Stats(),
-		L2TLB:      s.l2tlb.Stats(),
-		DRAM:       s.mem.Stats(),
-		Link:       s.link.Stats(),
-		LinkUtil:   s.link.Utilization(),
-		CPUFaults:  s.cpu.Stats(),
-		FaultUnit:  s.funit.Stats(),
-		Walks:      s.fu.Walks,
-		WalkFaults: s.fu.FaultsDetected,
-		Blocks:     s.disp.Completed(),
+		Cycles:         s.q.Now(),
+		L2:             s.l2.Stats(),
+		L2TLB:          s.l2tlb.Stats(),
+		DRAM:           s.mem.Stats(),
+		Link:           s.link.Stats(),
+		LinkUtil:       s.link.Utilization(),
+		CPUFaults:      s.cpu.Stats(),
+		FaultUnit:      s.funit.Stats(),
+		Walks:          s.fu.Walks,
+		WalkFaults:     s.fu.FaultsDetected,
+		InjectedFaults: s.fu.FaultsInjected,
+		Blocks:         s.disp.Completed(),
 	}
 	if s.local != nil {
 		r.Local = s.local.Stats()

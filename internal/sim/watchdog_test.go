@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gpues/internal/config"
+	"gpues/internal/vm"
+)
+
+func TestWatchdogObserve(t *testing.T) {
+	w := &watchdog{window: 100, lastSig: -1}
+	if w.observe(0, 5) {
+		t.Fatal("first observation read as stall")
+	}
+	if w.observe(99, 5) {
+		t.Fatal("fired before the window expired")
+	}
+	if !w.observe(100, 5) {
+		t.Fatal("did not fire once the window expired")
+	}
+	if w.observe(150, 6) {
+		t.Fatal("new signature must reset the window")
+	}
+	if w.observe(249, 6) {
+		t.Fatal("window not measured from the last signature change")
+	}
+}
+
+// stallAll vetoes every global-memory issue: a clean livelock the
+// watchdog must convert into a structured report.
+type stallAll struct{}
+
+func (stallAll) StallIssue(int, bool) bool { return true }
+func (stallAll) ForceSwitch(int) bool      { return false }
+
+func TestWatchdogConvertsLivelock(t *testing.T) {
+	cfg := config.Default()
+	cfg.ProgressWindow = 50_000
+	s, err := New(cfg, testSpec(t, 4, 128, vm.RegionGPUInit, vm.RegionGPUInit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range s.sms {
+		m.SetChaos(stallAll{})
+	}
+	_, err = s.Run()
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("livelock returned %v, want *StallError", err)
+	}
+	if se.Report.Reason != "watchdog" {
+		t.Errorf("reason = %q, want watchdog", se.Report.Reason)
+	}
+	if se.Report.Window != 50_000 {
+		t.Errorf("report window = %d, want 50000", se.Report.Window)
+	}
+	// The whole point: livelock surfaces orders of magnitude before the
+	// hard cycle bound.
+	if se.Report.Cycle > DefaultMaxCycles/100 {
+		t.Errorf("watchdog fired at cycle %d, later than MaxCycles/100", se.Report.Cycle)
+	}
+	if !strings.Contains(err.Error(), "stall report (watchdog)") {
+		t.Errorf("error does not carry the report: %v", err)
+	}
+	// The stalled SMs must appear in the report.
+	if len(se.Report.SMs) == 0 {
+		t.Error("report has no SM snapshots")
+	}
+}
+
+func TestMaxCyclesConfigurable(t *testing.T) {
+	cfg := config.Default()
+	cfg.MaxCycles = 1_000
+	cfg.ProgressWindow = -1 // isolate the hard bound from the watchdog
+	_, err := RunSpec(cfg, testSpec(t, 32, 128, vm.RegionGPUInit, vm.RegionGPUInit))
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("run over MaxCycles returned %v, want *StallError", err)
+	}
+	if se.Report.Reason != "max-cycles" {
+		t.Errorf("reason = %q, want max-cycles", se.Report.Reason)
+	}
+	if se.Report.Cycle < 1_000 {
+		t.Errorf("fired at cycle %d, before the bound", se.Report.Cycle)
+	}
+}
+
+func TestInvariantsCleanAfterRun(t *testing.T) {
+	cfg := config.Default()
+	cfg.Scheme = config.ReplayQueue
+	cfg.DemandPaging = true
+	s, err := New(cfg, testSpec(t, 8, 128, vm.RegionCPUInit, vm.RegionGPUInit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.CheckInvariants(); len(v) != 0 {
+		t.Errorf("invariant violations after a clean run: %v", v)
+	}
+}

@@ -15,16 +15,21 @@ import "gpues/internal/config"
 // only when the fault will wait behind others (position above the
 // threshold) and there is something else to run.
 func (s *SM) maybeSwitchOut(b *blockRT, queuePos int) {
-	if !s.cfg.Scheduler.Enabled || !s.cfg.Scheme.Preemptible() {
+	if !s.cfg.Scheme.Preemptible() {
 		return
 	}
 	if b.state != blockActive {
 		return
 	}
-	if queuePos < s.cfg.Scheduler.SwitchThreshold {
+	// A switch needs a replacement block; check before consulting the
+	// chaos plan so every recorded force-switch event is a real one.
+	if !s.hasWorkToSwitchIn() {
 		return
 	}
-	if !s.hasWorkToSwitchIn() {
+	// The organic policy switches on queue position; a chaos plan may
+	// force the switch regardless (the scheme must still be preemptible).
+	organic := s.cfg.Scheduler.Enabled && queuePos >= s.cfg.Scheduler.SwitchThreshold
+	if !organic && (s.chaos == nil || !s.chaos.ForceSwitch(s.ID)) {
 		return
 	}
 	b.state = blockDraining

@@ -40,6 +40,16 @@ type ContextMover interface {
 	Move(bytes int, done func())
 }
 
+// Chaos is the SM's fault-injection hook (internal/chaos implements
+// it): StallIssue may artificially hold back an issuable global-memory
+// instruction for a cycle (operand-log / replay-queue back-pressure);
+// ForceSwitch may switch a faulting block out regardless of its
+// pending-queue position. A nil Chaos costs a pointer test.
+type Chaos interface {
+	StallIssue(smID int, isReplay bool) bool
+	ForceSwitch(smID int) bool
+}
+
 // Stats counts SM activity.
 type Stats struct {
 	Cycles          int64
@@ -58,6 +68,7 @@ type Stats struct {
 	ContextBytes    int64
 	IssueStallLog   int64 // operand log full
 	IssueStallScore int64 // scoreboard hazard
+	IssueStallChaos int64 // injected back-pressure (chaos plans)
 }
 
 type blockState uint8
@@ -95,6 +106,7 @@ type SM struct {
 	sink  FaultSink
 	src   BlockSource
 	mover ContextMover
+	chaos Chaos
 
 	launch        *kernel.Launch
 	occupancy     int // concurrent blocks this kernel supports
@@ -144,6 +156,9 @@ func New(id int, cfg *config.Config, q *clock.Queue, l1 *cache.Cache, l1tlb *tlb
 
 // Stats returns a copy of the counters.
 func (s *SM) Stats() Stats { return s.stats }
+
+// SetChaos installs the fault-injection hook; nil removes it.
+func (s *SM) SetChaos(c Chaos) { s.chaos = c }
 
 // PrepareLaunch sizes the SM for a kernel launch: computes occupancy,
 // partitions the operand log among the resident blocks (Section 3.3),
@@ -343,6 +358,13 @@ func (s *SM) doIssue() bool {
 		f := w.buf
 		unit := f.ti.Static.ExecUnit()
 		if unitBudget[unit] <= 0 {
+			continue
+		}
+		if s.chaos != nil && f.global() && s.chaos.StallIssue(s.ID, f.isReplay) {
+			// The stall counts as activity so the SM retries next cycle
+			// instead of sleeping for an event that may never come.
+			s.stats.IssueStallChaos++
+			issuedAny = true
 			continue
 		}
 		if f.isReplay {

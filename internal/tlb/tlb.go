@@ -54,6 +54,7 @@ type tlbEntry struct {
 
 type tlbMSHR struct {
 	waiters []func(Result)
+	born    int64 // cycle the miss was allocated (leak detection)
 }
 
 // TLB is one translation level backed by a lower Level.
@@ -166,7 +167,7 @@ func (t *TLB) Lookup(pageVA uint64, done func(Result)) bool {
 		return false
 	}
 	t.stats.Misses++
-	m := &tlbMSHR{waiters: []func(Result){done}}
+	m := &tlbMSHR{waiters: []func(Result){done}, born: t.q.Now()}
 	t.mshrs[vpn] = m
 	t.q.After(t.cfg.Latency, func() { t.issue(pageVA, vpn, m) })
 	return true
@@ -194,6 +195,27 @@ func (t *TLB) issue(pageVA, vpn uint64, m *tlbMSHR) {
 	}
 }
 
+// CheckInvariants validates the TLB's structural state: MSHR occupancy
+// within capacity, and (when maxAge > 0) no outstanding miss older than
+// maxAge cycles — a stuck MSHR is a leaked miss that would otherwise
+// only surface as a hang.
+func (t *TLB) CheckInvariants(now, maxAge int64) []string {
+	var v []string
+	if t.cfg.MSHRs > 0 && len(t.mshrs) > t.cfg.MSHRs {
+		v = append(v, fmt.Sprintf("%s: %d MSHRs in flight exceed capacity %d",
+			t.cfg.Name, len(t.mshrs), t.cfg.MSHRs))
+	}
+	if maxAge > 0 {
+		for vpn, m := range t.mshrs {
+			if age := now - m.born; age > maxAge {
+				v = append(v, fmt.Sprintf("%s: miss on vpn %#x outstanding for %d cycles (leak?)",
+					t.cfg.Name, vpn, age))
+			}
+		}
+	}
+	return v
+}
+
 // Flush invalidates all entries (kernel boundary).
 func (t *TLB) Flush() {
 	for s := range t.entries {
@@ -201,6 +223,15 @@ func (t *TLB) Flush() {
 			t.entries[s][w] = tlbEntry{}
 		}
 	}
+}
+
+// WalkInjector is the chaos hook of the fill unit: it may turn a
+// page-table walk that would hit into a transient alloc-only fault.
+// Resolving such a fault is architecturally a no-op (the page is
+// already mapped), so a correct pipeline replays to the same result —
+// the restartability property the injection exists to stress.
+type WalkInjector interface {
+	InjectWalkFault(pageVA uint64) bool
 }
 
 // FillUnit performs GPU page table walks on L2 TLB misses with a pool
@@ -214,11 +245,14 @@ type FillUnit struct {
 	busy        int
 	queue       []walkReq
 	classify    func(pageVA uint64) Result
+	injector    WalkInjector
 
 	// Walks and FaultsDetected count completed walks and those that
-	// ended in a fault.
+	// ended in a fault; FaultsInjected counts the detected faults that
+	// were injected rather than organic.
 	Walks          int64
 	FaultsDetected int64
+	FaultsInjected int64
 }
 
 type walkReq struct {
@@ -252,12 +286,27 @@ func (f *FillUnit) Busy() int { return f.busy }
 // Queued returns the number of walks waiting for a walker.
 func (f *FillUnit) Queued() int { return len(f.queue) }
 
+// SetInjector installs the chaos hook; nil removes it.
+func (f *FillUnit) SetInjector(i WalkInjector) { f.injector = i }
+
+// CheckInvariants validates the fill unit's structural state.
+func (f *FillUnit) CheckInvariants() []string {
+	if f.busy < 0 || f.busy > f.walkers {
+		return []string{fmt.Sprintf("fill unit: %d busy walkers outside [0,%d]", f.busy, f.walkers)}
+	}
+	return nil
+}
+
 func (f *FillUnit) startWalk(pageVA uint64, done func(Result)) {
 	f.busy++
 	f.q.After(f.walkLatency, func() {
 		f.busy--
 		f.Walks++
 		r := f.classify(pageVA)
+		if r.Present && f.injector != nil && f.injector.InjectWalkFault(pageVA) {
+			r = Result{Fault: vm.FaultAllocOnly}
+			f.FaultsInjected++
+		}
 		if !r.Present {
 			f.FaultsDetected++
 		}

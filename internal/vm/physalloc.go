@@ -77,6 +77,23 @@ func (a *PhysAllocator) Free(frame uint64) error {
 	return nil
 }
 
+// Exhaust consumes free frames until at most leave remain, returning
+// how many were consumed. Chaos plans use it to drive the simulator
+// into its out-of-memory paths; the consumed frames are never freed.
+func (a *PhysAllocator) Exhaust(leave int) int {
+	if leave < 0 {
+		leave = 0
+	}
+	taken := 0
+	for a.FreeFrames() > leave {
+		if _, err := a.Alloc(); err != nil {
+			break
+		}
+		taken++
+	}
+	return taken
+}
+
 // Partition splits the remaining fresh space into n equal sub-allocators
 // (already-freed frames stay with the parent). Used to give each SM its
 // own contention-free pool for local fault handling.
