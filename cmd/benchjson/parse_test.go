@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: gpues
+cpu: AMD EPYC 7B13
+BenchmarkFig10/baseline         	       1	 579904096 ns/op	    117137 sim-cycles
+BenchmarkFig10/replay-queue     	       1	 541994459 ns/op	    129906 sim-cycles
+BenchmarkTable2                 	       1	     17834 ns/op
+BenchmarkEmulator               	       1	  80718509 ns/op	   2626064 warp-insts/s
+--- some test log noise
+PASS
+ok  	gpues	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Package != "gpues" {
+		t.Fatalf("header = %q/%q/%q", rep.GoOS, rep.GoArch, rep.Package)
+	}
+	if rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkFig10/baseline" || b.N != 1 {
+		t.Fatalf("first = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 579904096 || b.Metrics["sim-cycles"] != 117137 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	if rep.Benchmarks[2].Metrics["sim-cycles"] != 0 {
+		t.Fatalf("Table2 should have no sim-cycles: %v", rep.Benchmarks[2].Metrics)
+	}
+	if rep.Benchmarks[3].Metrics["warp-insts/s"] != 2626064 {
+		t.Fatalf("emulator metrics = %v", rep.Benchmarks[3].Metrics)
+	}
+}
+
+func TestParseIgnoresMalformed(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkBad x 1 ns/op\nBenchmarkShort 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("malformed lines parsed: %+v", rep.Benchmarks)
+	}
+}

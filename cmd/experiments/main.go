@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"gpues"
+	"gpues/internal/prof"
 )
 
 func main() {
@@ -27,8 +28,16 @@ func main() {
 		progress = flag.Bool("progress", false, "print one line per completed simulation")
 		par      = flag.Int("j", 0, "parallel simulations (0 = GOMAXPROCS)")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	opt := gpues.ExperimentOptions{Scale: *scale, Parallelism: *par}
 	if *benches != "" {
@@ -56,6 +65,7 @@ func main() {
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
+		stopProf()
 		os.Exit(1)
 	}
 	show := func(r *gpues.ExperimentResult) {
@@ -149,5 +159,11 @@ func main() {
 			fail(err)
 		}
 		show(r)
+	}
+
+	stopProf()
+	if err := prof.WriteHeap(*memProf); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

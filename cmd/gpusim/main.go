@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"gpues"
+	"gpues/internal/prof"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func main() {
 		chaosLvl  = flag.Int("chaos-level", 0, "fault-injection level: 0 none, 1 timing noise, 2 transient faults, 3 fault storm")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection RNG seed (with -chaos-level)")
 		verbose   = flag.Bool("v", false, "print per-SM statistics")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
 
@@ -103,6 +106,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	stopProf, err := prof.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	var res *gpues.Result
 	if *chaosLvl > 0 {
 		plan, err := gpues.ChaosPlanForLevel(*chaosLvl, *chaosSeed)
@@ -124,6 +132,7 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "oracle        MISMATCH: %d bytes diverge, first at %#x\n",
 				len(cr.Mismatches), cr.Mismatches[0].Addr)
+			stopProf()
 			os.Exit(1)
 		}
 	} else {
@@ -134,6 +143,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	stopProf()
+	if err := prof.WriteHeap(*memProf); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("workload      %s (scale %d, %d blocks of %d threads)\n",
 		*workload, *scale, spec.Launch.Blocks(), spec.Launch.ThreadsPerBlock())
@@ -141,7 +155,8 @@ func main() {
 	fmt.Printf("cycles        %d (%.1f us at %.0f GHz)\n",
 		res.Cycles, float64(res.Cycles)/1000/cfg.System.FrequencyGHz, cfg.System.FrequencyGHz)
 	fmt.Printf("committed     %d warp instructions, IPC %.2f\n", res.Committed, res.IPC())
-	fmt.Printf("occupancy     %d blocks/SM\n", res.Occupancy)
+	fmt.Printf("occupancy     %d-%d blocks/SM (mean %.1f)\n",
+		res.OccupancyMin, res.Occupancy, res.OccupancyMean)
 	fmt.Printf("L2            %d hits / %d misses, %d writebacks\n", res.L2.Hits, res.L2.Misses, res.L2.WriteBacks)
 	fmt.Printf("L2 TLB        %d hits / %d misses\n", res.L2TLB.Hits, res.L2TLB.Misses)
 	fmt.Printf("walks         %d (%d faulted)\n", res.Walks, res.WalkFaults)

@@ -50,9 +50,18 @@ type line struct {
 	lru   int64
 }
 
+// mshr tracks one outstanding miss. MSHRs are pooled per cache: the
+// waiters slice capacity and the two prebuilt closures (the delayed
+// fetch issue and the fill completion) survive reuse, so a steady
+// stream of misses allocates nothing.
 type mshr struct {
+	addr    uint64
 	waiters []func()
 	born    int64 // cycle the miss was allocated (leak detection)
+
+	issueFn func() // issueFetch(m); also the downstream-full retry
+	fillFn  func() // fill(m) — the downstream fetch completion
+	next    *mshr  // free list
 }
 
 // Config sizes a cache.
@@ -74,6 +83,7 @@ type Cache struct {
 	q       *clock.Queue
 	next    Backend
 	mshrs   map[uint64]*mshr // keyed by line address
+	pool    *mshr            // free list of recycled MSHRs
 	stats   Stats
 	tick    int64 // LRU clock
 	waiters []func()
@@ -234,29 +244,56 @@ func (c *Cache) accessRead(addr uint64, done func()) bool {
 		return false
 	}
 	c.stats.Misses++
-	m := &mshr{waiters: []func(){done}, born: c.q.Now()}
+	m := c.allocMSHR(addr)
+	m.waiters = append(m.waiters, done)
 	c.mshrs[addr] = m
 	// Tag lookup takes the access latency before the miss goes down.
-	c.q.After(c.cfg.Latency, func() { c.issueFetch(addr, m) })
+	c.q.After(c.cfg.Latency, m.issueFn)
 	return true
 }
 
-func (c *Cache) issueFetch(addr uint64, m *mshr) {
-	ok := c.next.Fetch(addr, func() {
-		c.install(addr, false)
-		delete(c.mshrs, addr)
-		for _, w := range m.waiters {
-			w()
-		}
-		c.release()
-	})
-	if !ok {
+// allocMSHR takes an MSHR from the pool (or builds one, wiring its
+// reusable closures) and resets its per-miss state.
+func (c *Cache) allocMSHR(addr uint64) *mshr {
+	m := c.pool
+	if m == nil {
+		m = &mshr{}
+		m.issueFn = func() { c.issueFetch(m) }
+		m.fillFn = func() { c.fill(m) }
+	} else {
+		c.pool = m.next
+		m.next = nil
+	}
+	m.addr = addr
+	m.born = c.q.Now()
+	m.waiters = m.waiters[:0]
+	return m
+}
+
+func (c *Cache) issueFetch(m *mshr) {
+	if !c.next.Fetch(m.addr, m.fillFn) {
 		if fn, okN := c.next.(freeNotifier); okN {
-			fn.OnFree(func() { c.issueFetch(addr, m) })
+			fn.OnFree(m.issueFn)
 		} else {
-			c.q.After(1, func() { c.issueFetch(addr, m) })
+			c.q.After(1, m.issueFn)
 		}
 	}
+}
+
+// fill completes a miss: install the line, retire the MSHR, run the
+// merged waiters in arrival order, then recycle. Recycling happens
+// last so a waiter that immediately re-misses allocates a different
+// node than the one still being drained.
+func (c *Cache) fill(m *mshr) {
+	c.install(m.addr, false)
+	delete(c.mshrs, m.addr)
+	for _, w := range m.waiters {
+		w()
+	}
+	c.release()
+	m.waiters = m.waiters[:0]
+	m.next = c.pool
+	c.pool = m
 }
 
 func (c *Cache) accessWrite(addr uint64, done func()) bool {

@@ -4,35 +4,76 @@
 // TLBs, DRAM, interconnect, host) schedule completions on the queue.
 // When every SM is idle the main loop skips directly to the next event
 // cycle, which makes fault-dominated phases cheap to simulate.
+//
+// The queue is a bucketed calendar queue: events within the near-future
+// horizon (numBuckets cycles) live in a ring of per-cycle FIFO lists
+// indexed by cycle modulo the horizon, with a two-level bitmap locating
+// the next non-empty bucket in O(1) word operations. Events beyond the
+// horizon wait in a small overflow min-heap and migrate into the ring
+// as the clock advances. Event nodes come from a free list, so
+// steady-state scheduling performs no heap allocation. Ordering
+// semantics are exactly those of the previous container/heap
+// implementation: earliest cycle first, FIFO (scheduling order) among
+// same-cycle events.
+//
+// Nearly every latency in the simulated machine — L1/L2 hit latencies,
+// TLB fills, DRAM accesses, link occupancies — is far below the
+// horizon, so the overflow heap only sees the microsecond-scale fault
+// service round trips, which are rare by construction.
 package clock
 
-import "container/heap"
+import "math/bits"
 
-type event struct {
+const (
+	bucketBits = 11
+	// numBuckets is the calendar horizon: events scheduled fewer than
+	// this many cycles ahead go straight into the ring.
+	numBuckets = 1 << bucketBits
+	bucketMask = numBuckets - 1
+	// occWords is the size of the first-level occupancy bitmap; the
+	// second level (occSum) has one bit per word and fits in a uint32.
+	occWords = numBuckets / 64
+)
+
+// node is one scheduled event. Nodes are pooled: RunDue returns them to
+// the free list before invoking the callback.
+type node struct {
 	cycle int64
 	seq   uint64 // FIFO order among same-cycle events
 	fn    func()
+	next  *node
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
-	}
-	return h[i].seq < h[j].seq
+// bucketList is one calendar slot: a FIFO of same-cycle events.
+type bucketList struct {
+	head, tail *node
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Queue is the simulation clock and event queue. Not safe for
 // concurrent use; the whole timing simulation is single-threaded.
 type Queue struct {
-	now    int64
-	seq    uint64
-	events eventHeap
+	now int64
+	seq uint64
+	n   int // total pending events (ring + overflow)
+
+	buckets [numBuckets]bucketList
+	occ     [occWords]uint64 // bit per non-empty bucket
+	occSum  uint32           // bit per non-zero occ word
+
+	// overdue holds events left behind at a cycle the clock has already
+	// advanced past (scheduled at cycle == now and not drained before the
+	// clock moved, e.g. via After(0) outside a drain). They run at the
+	// next drain, ahead of everything scheduled for later cycles. The
+	// list is in insertion order, which is exactly (cycle, seq) order:
+	// an overdue event's cycle is the now at its insertion, and now is
+	// monotonic.
+	overdue bucketList
+
+	free *node
+
+	// overflow holds events at now+numBuckets or later, ordered by
+	// (cycle, seq); they migrate into the ring as now advances.
+	overflow []*node
 }
 
 // New returns a queue at cycle 0.
@@ -42,7 +83,49 @@ func New() *Queue { return &Queue{} }
 func (q *Queue) Now() int64 { return q.now }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.events) }
+func (q *Queue) Len() int { return q.n }
+
+func (q *Queue) alloc() *node {
+	nd := q.free
+	if nd == nil {
+		return &node{}
+	}
+	q.free = nd.next
+	nd.next = nil
+	return nd
+}
+
+func (q *Queue) recycle(nd *node) {
+	nd.fn = nil
+	nd.next = q.free
+	q.free = nd
+}
+
+func (q *Queue) setOcc(b int) {
+	q.occ[b>>6] |= 1 << (uint(b) & 63)
+	q.occSum |= 1 << (uint(b) >> 6)
+}
+
+func (q *Queue) clrOcc(b int) {
+	w := b >> 6
+	q.occ[w] &^= 1 << (uint(b) & 63)
+	if q.occ[w] == 0 {
+		q.occSum &^= 1 << uint(w)
+	}
+}
+
+// push appends nd to its ring bucket (FIFO tail).
+func (q *Queue) push(nd *node) {
+	b := int(nd.cycle) & bucketMask
+	bl := &q.buckets[b]
+	if bl.tail == nil {
+		bl.head = nd
+		q.setOcc(b)
+	} else {
+		bl.tail.next = nd
+	}
+	bl.tail = nd
+}
 
 // At schedules fn to run at the given absolute cycle. Events scheduled
 // in the past run at the current cycle's drain. Same-cycle events run in
@@ -52,47 +135,192 @@ func (q *Queue) At(cycle int64, fn func()) {
 		cycle = q.now
 	}
 	q.seq++
-	heap.Push(&q.events, event{cycle: cycle, seq: q.seq, fn: fn})
+	nd := q.alloc()
+	nd.cycle, nd.seq, nd.fn = cycle, q.seq, fn
+	if cycle-q.now < numBuckets {
+		q.push(nd)
+	} else {
+		q.overflowPush(nd)
+	}
+	q.n++
 }
 
 // After schedules fn to run delay cycles from now.
 func (q *Queue) After(delay int64, fn func()) { q.At(q.now+delay, fn) }
 
+// migrate moves overflow events that entered the horizon into the ring.
+// It must run every time now changes: the migration condition matches
+// the ring-insertion condition in At, so a bucket never receives a
+// direct insert while an earlier-scheduled same-cycle event still waits
+// in the overflow heap — which is what keeps same-cycle FIFO exact.
+func (q *Queue) migrate() {
+	for len(q.overflow) > 0 && q.overflow[0].cycle-q.now < numBuckets {
+		q.push(q.overflowPop())
+	}
+}
+
+// advance moves the clock to a later cycle: events still pending at the
+// cycle being left (the current slot can only hold cycle == now events)
+// are stashed on the overdue list, and overflow events that entered the
+// horizon migrate into the ring.
+func (q *Queue) advance(to int64) {
+	b := int(q.now) & bucketMask
+	if bl := &q.buckets[b]; bl.head != nil {
+		if q.overdue.tail == nil {
+			q.overdue.head = bl.head
+		} else {
+			q.overdue.tail.next = bl.head
+		}
+		q.overdue.tail = bl.tail
+		bl.head, bl.tail = nil, nil
+		q.clrOcc(b)
+	}
+	q.now = to
+	if len(q.overflow) > 0 {
+		q.migrate()
+	}
+}
+
 // RunDue runs every event scheduled at or before the current cycle,
 // including events those events schedule for the current cycle.
 func (q *Queue) RunDue() {
-	for len(q.events) > 0 && q.events[0].cycle <= q.now {
-		e := heap.Pop(&q.events).(event)
-		e.fn()
+	for q.overdue.head != nil {
+		nd := q.overdue.head
+		q.overdue.head = nd.next
+		if q.overdue.head == nil {
+			q.overdue.tail = nil
+		}
+		q.n--
+		fn := nd.fn
+		q.recycle(nd)
+		fn()
+	}
+	b := int(q.now) & bucketMask
+	bl := &q.buckets[b]
+	for bl.head != nil && bl.head.cycle <= q.now {
+		nd := bl.head
+		bl.head = nd.next
+		if bl.head == nil {
+			bl.tail = nil
+			q.clrOcc(b)
+		}
+		q.n--
+		fn := nd.fn
+		q.recycle(nd)
+		fn()
 	}
 }
 
 // Step advances the clock by one cycle and runs due events.
 func (q *Queue) Step() {
-	q.now++
+	q.advance(q.now + 1)
 	q.RunDue()
+}
+
+// nextBucket returns the ring index of the first non-empty bucket at or
+// cyclically after the current cycle's slot, or -1 when the ring is
+// empty. Because every ring event lies in [now, now+numBuckets), cyclic
+// distance from now's slot equals cycle order.
+func (q *Queue) nextBucket() int {
+	if q.occSum == 0 {
+		return -1
+	}
+	s := int(q.now) & bucketMask
+	w, bit := s>>6, uint(s)&63
+	if m := q.occ[w] &^ (1<<bit - 1); m != 0 {
+		return w<<6 + bits.TrailingZeros64(m)
+	}
+	// Remaining words in cyclic order after w; the summary bitmap (never
+	// zero here) gives the first non-zero one. A full wrap back to w
+	// means only w's low bits — cyclically the farthest buckets — remain.
+	rot := bits.RotateLeft32(q.occSum, -(w + 1))
+	w2 := (w + 1 + bits.TrailingZeros32(rot)) % occWords
+	if w2 == w {
+		if m := q.occ[w] & (1<<bit - 1); m != 0 {
+			return w<<6 + bits.TrailingZeros64(m)
+		}
+		return -1
+	}
+	return w2<<6 + bits.TrailingZeros64(q.occ[w2])
 }
 
 // NextEvent returns the cycle of the earliest pending event.
 func (q *Queue) NextEvent() (int64, bool) {
-	if len(q.events) == 0 {
-		return 0, false
+	if q.overdue.head != nil {
+		return q.overdue.head.cycle, true
 	}
-	return q.events[0].cycle, true
+	if b := q.nextBucket(); b >= 0 {
+		return q.buckets[b].head.cycle, true
+	}
+	if len(q.overflow) > 0 {
+		return q.overflow[0].cycle, true
+	}
+	return 0, false
 }
 
 // SkipTo advances the clock to the given cycle (never backwards),
 // running intermediate events at their own scheduled cycles so that
 // callbacks observe the correct Now. Used when all SMs are asleep.
 func (q *Queue) SkipTo(cycle int64) {
-	for len(q.events) > 0 && q.events[0].cycle <= cycle {
-		if c := q.events[0].cycle; c > q.now {
-			q.now = c
+	for {
+		next, ok := q.NextEvent()
+		if !ok || next > cycle {
+			break
 		}
-		e := heap.Pop(&q.events).(event)
-		e.fn()
+		if next > q.now {
+			q.advance(next)
+		}
+		q.RunDue()
 	}
 	if cycle > q.now {
-		q.now = cycle
+		q.advance(cycle)
 	}
+}
+
+// overflow min-heap, ordered by (cycle, seq) ----------------------------
+
+func overflowLess(a, b *node) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) overflowPush(nd *node) {
+	q.overflow = append(q.overflow, nd)
+	i := len(q.overflow) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !overflowLess(q.overflow[i], q.overflow[p]) {
+			break
+		}
+		q.overflow[i], q.overflow[p] = q.overflow[p], q.overflow[i]
+		i = p
+	}
+}
+
+func (q *Queue) overflowPop() *node {
+	h := q.overflow
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	q.overflow = h[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && overflowLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && overflowLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
 }

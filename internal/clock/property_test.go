@@ -1,0 +1,288 @@
+package clock
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// heapQueue is the previous container/heap implementation, kept verbatim
+// as the reference model for the differential test: the calendar queue
+// must order events exactly the way the heap did — earliest cycle first,
+// FIFO among same-cycle events.
+
+type refEvent struct {
+	cycle int64
+	seq   uint64
+	fn    func()
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type heapQueue struct {
+	now    int64
+	seq    uint64
+	events refHeap
+}
+
+func (q *heapQueue) Now() int64 { return q.now }
+func (q *heapQueue) Len() int   { return len(q.events) }
+
+func (q *heapQueue) At(cycle int64, fn func()) {
+	if cycle < q.now {
+		cycle = q.now
+	}
+	q.seq++
+	heap.Push(&q.events, refEvent{cycle: cycle, seq: q.seq, fn: fn})
+}
+
+func (q *heapQueue) After(delay int64, fn func()) { q.At(q.now+delay, fn) }
+
+func (q *heapQueue) RunDue() {
+	for len(q.events) > 0 && q.events[0].cycle <= q.now {
+		e := heap.Pop(&q.events).(refEvent)
+		e.fn()
+	}
+}
+
+func (q *heapQueue) Step() {
+	q.now++
+	q.RunDue()
+}
+
+func (q *heapQueue) NextEvent() (int64, bool) {
+	if len(q.events) == 0 {
+		return 0, false
+	}
+	return q.events[0].cycle, true
+}
+
+func (q *heapQueue) SkipTo(cycle int64) {
+	for len(q.events) > 0 && q.events[0].cycle <= cycle {
+		if c := q.events[0].cycle; c > q.now {
+			q.now = c
+		}
+		e := heap.Pop(&q.events).(refEvent)
+		e.fn()
+	}
+	if cycle > q.now {
+		q.now = cycle
+	}
+}
+
+// TestSameCycleFIFOAcrossHorizon schedules interleaved events at the
+// same cycle through both the ring path (near) and the overflow path
+// (far) and checks they fire in scheduling order — the case the
+// overflow migration must get right.
+func TestSameCycleFIFOAcrossHorizon(t *testing.T) {
+	q := New()
+	far := int64(3 * numBuckets)
+	var order []int
+	q.At(far, func() { order = append(order, 0) }) // overflow path
+	q.SkipTo(far - numBuckets/2)
+	q.At(far, func() { order = append(order, 1) }) // ring path, after migration
+	q.At(far, func() { order = append(order, 2) })
+	q.SkipTo(far)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("same-cycle order across horizon = %v, want [0 1 2]", order)
+	}
+}
+
+// TestPastSchedulingClamp checks that events scheduled in the past run
+// at the current cycle, in scheduling order relative to current-cycle
+// events.
+func TestPastSchedulingClamp(t *testing.T) {
+	q := New()
+	q.SkipTo(50)
+	var order []int
+	q.At(50, func() { order = append(order, 1) })
+	q.At(10, func() { order = append(order, 2) }) // clamps to 50, after 1
+	q.At(-5, func() { order = append(order, 3) })
+	q.RunDue()
+	if q.Now() != 50 {
+		t.Fatalf("Now = %d, want 50", q.Now())
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("clamped order = %v, want [1 2 3]", order)
+	}
+}
+
+// TestSkipToCallbackObservesNow checks that every callback run during a
+// SkipTo observes its own scheduled cycle as Now, including callbacks
+// that migrate out of the overflow heap mid-skip.
+func TestSkipToCallbackObservesNow(t *testing.T) {
+	q := New()
+	cycles := []int64{3, numBuckets - 1, numBuckets + 7, 5 * numBuckets}
+	seen := map[int64]int64{}
+	for _, c := range cycles {
+		c := c
+		q.At(c, func() { seen[c] = q.Now() })
+	}
+	q.SkipTo(10 * numBuckets)
+	for _, c := range cycles {
+		if seen[c] != c {
+			t.Errorf("callback at %d observed Now=%d", c, seen[c])
+		}
+	}
+	if q.Now() != 10*numBuckets {
+		t.Errorf("final Now = %d, want %d", q.Now(), int64(10*numBuckets))
+	}
+}
+
+// TestDifferentialVsHeap drives the calendar queue and the old heap
+// implementation with an identical randomized operation stream —
+// including callbacks that schedule more work, delays straddling the
+// horizon, and mixed Step/SkipTo advancement — and requires the exact
+// same firing sequence and clock positions.
+func TestDifferentialVsHeap(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+
+		newQ := New()
+		oldQ := &heapQueue{}
+		var newLog, oldLog []int64
+
+		id := int64(0)
+		// schedule installs the same (possibly re-scheduling) callback on
+		// both queues.
+		var schedule func(delay int64)
+		schedule = func(delay int64) {
+			id++
+			ev := id
+			resched := rng.Intn(4) == 0
+			next := int64(rng.Intn(3 * numBuckets))
+			newQ.After(delay, func() {
+				newLog = append(newLog, ev, newQ.Now())
+				if resched {
+					schedule2(newQ, &newLog, ev, next)
+				}
+			})
+			oldQ.After(delay, func() {
+				oldLog = append(oldLog, ev, oldQ.Now())
+				if resched {
+					schedule2(oldQ, &oldLog, ev, next)
+				}
+			})
+		}
+		_ = schedule
+
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(5) {
+			case 0, 1:
+				// Mix near-future, horizon-edge and far-future delays.
+				d := int64(rng.Intn(8))
+				if rng.Intn(3) == 0 {
+					d = int64(numBuckets - 4 + rng.Intn(8))
+				}
+				if rng.Intn(5) == 0 {
+					d = int64(rng.Intn(4 * numBuckets))
+				}
+				schedule(d)
+			case 2:
+				newQ.Step()
+				oldQ.Step()
+			case 3:
+				d := int64(rng.Intn(2 * numBuckets))
+				newQ.SkipTo(newQ.Now() + d)
+				oldQ.SkipTo(oldQ.Now() + d)
+			case 4:
+				newQ.RunDue()
+				oldQ.RunDue()
+			}
+			if newQ.Now() != oldQ.Now() {
+				t.Fatalf("seed %d op %d: Now diverged: %d vs %d", seed, op, newQ.Now(), oldQ.Now())
+			}
+			if newQ.Len() != oldQ.Len() {
+				t.Fatalf("seed %d op %d: Len diverged: %d vs %d", seed, op, newQ.Len(), oldQ.Len())
+			}
+			nc, nok := newQ.NextEvent()
+			oc, ook := oldQ.NextEvent()
+			if nok != ook || (nok && nc != oc) {
+				t.Fatalf("seed %d op %d: NextEvent diverged: %d,%v vs %d,%v", seed, op, nc, nok, oc, ook)
+			}
+		}
+		// Drain everything.
+		newQ.SkipTo(newQ.Now() + 10*numBuckets)
+		oldQ.SkipTo(oldQ.Now() + 10*numBuckets)
+
+		if len(newLog) != len(oldLog) {
+			t.Fatalf("seed %d: fired %d entries vs %d", seed, len(newLog)/2, len(oldLog)/2)
+		}
+		for i := range newLog {
+			if newLog[i] != oldLog[i] {
+				t.Fatalf("seed %d: firing log diverged at %d: %d vs %d", seed, i, newLog[i], oldLog[i])
+			}
+		}
+	}
+}
+
+// schedule2 is the rescheduling arm of the differential test's
+// callbacks, shared so both queues run identical logic.
+func schedule2(q interface {
+	After(int64, func())
+	Now() int64
+}, log *[]int64, ev, delay int64) {
+	q.After(delay, func() {
+		*log = append(*log, -ev, q.Now())
+	})
+}
+
+// TestZeroAllocSteadyState asserts the allocation-free guarantee of the
+// hot path: once the node free list is warm, After + Step performs no
+// heap allocations.
+func TestZeroAllocSteadyState(t *testing.T) {
+	q := New()
+	fn := func() {}
+	// Warm the free list.
+	for i := 0; i < 64; i++ {
+		q.After(1, fn)
+		q.After(3, fn)
+	}
+	q.SkipTo(q.Now() + 8)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.After(1, fn)
+		q.After(2, fn)
+		q.After(5, fn)
+		q.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state After+Step allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestOverflowStress pushes thousands of far-future events with random
+// cycles and checks they all fire, in order, with correct Now.
+func TestOverflowStress(t *testing.T) {
+	q := New()
+	rng := rand.New(rand.NewSource(7))
+	var fired []int64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		c := int64(rng.Intn(20 * numBuckets))
+		q.At(c, func() { fired = append(fired, q.Now()) })
+	}
+	q.SkipTo(25 * numBuckets)
+	if len(fired) != n {
+		t.Fatalf("fired %d of %d", len(fired), n)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out-of-order firing: %d after %d", fired[i], fired[i-1])
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}

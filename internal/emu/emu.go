@@ -3,6 +3,7 @@ package emu
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"gpues/internal/isa"
 	"gpues/internal/kernel"
@@ -23,7 +24,23 @@ type Emulator struct {
 
 	// MaxWarpInsts bounds the dynamic instruction count per warp.
 	MaxWarpInsts int
+
+	// Blocks are emulated one at a time, so one set of execution
+	// scratch state serves every block: warp contexts (their 64 KB
+	// register files are the dominant per-block allocation) and the
+	// shared-memory buffer are pooled, trace slices are presized to the
+	// longest warp trace seen so far, and coalesced line addresses are
+	// carved out of a chunked arena instead of one slice per
+	// instruction. Traces and arena chunks still escape into the
+	// returned BlockTrace; only state that does not escape is reused.
+	ctxs      []*warpCtx
+	sharedBuf []byte
+	traceHint int
+	arena     []uint64
 }
+
+// arenaChunk is the allocation granule for coalesced line addresses.
+const arenaChunk = 8192
 
 // New returns an Emulator for the launch. lineSize is the cache line
 // size used by the coalescing unit (128 B in the baseline).
@@ -81,9 +98,16 @@ func (e *Emulator) EmulateBlock(blockID int) (*BlockTrace, error) {
 	threads := e.launch.ThreadsPerBlock()
 	numWarps := (threads + 31) / 32
 	sharedSize := e.launch.Kernel.SharedMemBytes
-	shared := make([]byte, sharedSize)
+	if cap(e.sharedBuf) < sharedSize {
+		e.sharedBuf = make([]byte, sharedSize)
+	}
+	shared := e.sharedBuf[:sharedSize]
+	clear(shared)
 
-	warps := make([]*warpCtx, numWarps)
+	for len(e.ctxs) < numWarps {
+		e.ctxs = append(e.ctxs, &warpCtx{regs: make([][isa.MaxRegs]uint64, 32)})
+	}
+	warps := e.ctxs[:numWarps]
 	for w := 0; w < numWarps; w++ {
 		lanes := 32
 		if rem := threads - w*32; rem < 32 {
@@ -95,12 +119,18 @@ func (e *Emulator) EmulateBlock(blockID int) (*BlockTrace, error) {
 		} else {
 			tm = (1 << lanes) - 1
 		}
-		warps[w] = &warpCtx{
-			id:      w,
-			regs:    make([][isa.MaxRegs]uint64, 32),
-			stack:   []stackEntry{{pc: 0, rpc: -2, mask: tm}},
-			threads: tm,
+		ctx := warps[w]
+		for i := range ctx.regs {
+			ctx.regs[i] = [isa.MaxRegs]uint64{}
 		}
+		ctx.id = w
+		ctx.stack = append(ctx.stack[:0], stackEntry{pc: 0, rpc: -2, mask: tm})
+		ctx.exited = 0
+		ctx.threads = tm
+		ctx.atBarrier = false
+		ctx.done = false
+		ctx.insts = 0
+		ctx.trace = make([]TraceInst, 0, e.traceHint)
 	}
 
 	// Round-robin warp execution, switching at barriers, until all warps
@@ -148,10 +178,15 @@ func (e *Emulator) EmulateBlock(blockID int) (*BlockTrace, error) {
 
 	bt := &BlockTrace{BlockID: blockID, Warps: make([]WarpTrace, numWarps)}
 	for w, ctx := range warps {
-		bt.Warps[w] = WarpTrace{WarpID: w, Insts: ctx.trace}
-		bt.DynInsts += len(ctx.trace)
-		for i := range ctx.trace {
-			ti := &ctx.trace[i]
+		if len(ctx.trace) > e.traceHint {
+			e.traceHint = len(ctx.trace)
+		}
+		tr := ctx.trace
+		ctx.trace = nil
+		bt.Warps[w] = WarpTrace{WarpID: w, Insts: tr}
+		bt.DynInsts += len(tr)
+		for i := range tr {
+			ti := &tr[i]
 			if ti.Static.IsGlobalMem() {
 				bt.GlobalAccesses++
 				bt.MemRequests += len(ti.Lines)
@@ -195,10 +230,8 @@ func (e *Emulator) runWarp(w *warpCtx, blockID int, shared []byte) error {
 		execMask := active
 		if in.Pred != isa.RegNone {
 			var pm uint32
-			for lane := 0; lane < 32; lane++ {
-				if active&(1<<lane) == 0 {
-					continue
-				}
+			for m := active; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
 				p := e.readReg(w, lane, in.Pred)&1 != 0
 				if p != in.PredNeg {
 					pm |= 1 << lane
@@ -254,10 +287,8 @@ func (e *Emulator) runWarp(w *warpCtx, blockID int, shared []byte) error {
 			continue
 
 		default:
-			for lane := 0; lane < 32; lane++ {
-				if execMask&(1<<lane) != 0 {
-					e.execALU(w, in, lane, blockID)
-				}
+			for m := execMask; m != 0; m &= m - 1 {
+				e.execALU(w, in, bits.TrailingZeros32(m), blockID)
 			}
 			w.trace = append(w.trace, ti)
 			top.pc++
@@ -292,7 +323,6 @@ func boolVal(b bool) uint64 {
 func (e *Emulator) execALU(w *warpCtx, in *isa.Instruction, lane, blockID int) {
 	a := e.readReg(w, lane, in.SrcA)
 	b := e.readReg(w, lane, in.SrcB)
-	c := e.readReg(w, lane, in.SrcC)
 	var v uint64
 	switch in.Op {
 	case isa.OpNop:
@@ -308,7 +338,7 @@ func (e *Emulator) execALU(w *warpCtx, in *isa.Instruction, lane, blockID int) {
 			v = a * uint64(in.Imm)
 		}
 	case isa.OpIMad:
-		v = a*b + c
+		v = a*b + e.readReg(w, lane, in.SrcC)
 	case isa.OpIMin:
 		if int64(a) < int64(b) {
 			v = a
@@ -350,7 +380,7 @@ func (e *Emulator) execALU(w *warpCtx, in *isa.Instruction, lane, blockID int) {
 	case isa.OpFMul:
 		v = fb(f(a) * f(b))
 	case isa.OpFFma:
-		v = fb(math.FMA(f(a), f(b), f(c)))
+		v = fb(math.FMA(f(a), f(b), f(e.readReg(w, lane, in.SrcC))))
 	case isa.OpFMin:
 		v = fb(math.Min(f(a), f(b)))
 	case isa.OpFMax:
@@ -470,21 +500,39 @@ func (e *Emulator) sreg(w *warpCtx, lane int, s isa.SReg, blockID int) uint64 {
 	return 0
 }
 
+// coalesceArena coalesces the per-lane accesses into line addresses
+// backed by the emulator's arena: the worst-case entry count is
+// reserved up front so the append inside coalesce never reallocates,
+// and the arena advances past the entries actually produced. Retired
+// chunks stay referenced by the traces that point into them and are
+// collected when those traces are dropped.
+func (e *Emulator) coalesceArena(addrs *[32]uint64, mask uint32, size int) []uint64 {
+	span := int(uint64(size-1)/e.lineSize) + 2
+	need := 32 * span
+	if cap(e.arena)-len(e.arena) < need {
+		n := arenaChunk
+		if need > n {
+			n = need
+		}
+		e.arena = make([]uint64, 0, n)
+	}
+	dst := coalesce(e.arena[len(e.arena):len(e.arena)], addrs, mask, size, e.lineSize)
+	e.arena = e.arena[:len(e.arena)+len(dst)]
+	return dst
+}
+
 func (e *Emulator) execMem(w *warpCtx, in *isa.Instruction, mask uint32, blockID int, shared []byte, ti *TraceInst) error {
 	size := int(in.Size)
 	var addrs [32]uint64
-	for lane := 0; lane < 32; lane++ {
-		if mask&(1<<lane) != 0 {
-			addrs[lane] = e.readReg(w, lane, in.SrcA) + uint64(in.Imm)
-		}
+	for m := mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		addrs[lane] = e.readReg(w, lane, in.SrcA) + uint64(in.Imm)
 	}
 
 	switch in.Op {
 	case isa.OpLdShared, isa.OpStShared:
-		for lane := 0; lane < 32; lane++ {
-			if mask&(1<<lane) == 0 {
-				continue
-			}
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
 			off := addrs[lane]
 			if off+uint64(size) > uint64(len(shared)) {
 				return fmt.Errorf("shared access at %d beyond %d B partition", off, len(shared))
@@ -503,27 +551,23 @@ func (e *Emulator) execMem(w *warpCtx, in *isa.Instruction, mask uint32, blockID
 			}
 		}
 		if mask != 0 {
-			ti.Lines = coalesce(nil, &addrs, mask, size, e.lineSize)
+			ti.Lines = e.coalesceArena(&addrs, mask, size)
 		}
 		return nil
 
 	case isa.OpLdGlobal:
-		for lane := 0; lane < 32; lane++ {
-			if mask&(1<<lane) != 0 {
-				e.writeReg(w, lane, in.Dst, e.mem.Read(addrs[lane], size))
-			}
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.writeReg(w, lane, in.Dst, e.mem.Read(addrs[lane], size))
 		}
 	case isa.OpStGlobal:
-		for lane := 0; lane < 32; lane++ {
-			if mask&(1<<lane) != 0 {
-				e.mem.Write(addrs[lane], size, e.readReg(w, lane, in.SrcB))
-			}
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.mem.Write(addrs[lane], size, e.readReg(w, lane, in.SrcB))
 		}
 	case isa.OpAtomGlobal:
-		for lane := 0; lane < 32; lane++ {
-			if mask&(1<<lane) == 0 {
-				continue
-			}
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
 			v := e.readReg(w, lane, in.SrcB)
 			cmp := e.readReg(w, lane, in.SrcC)
 			old := e.mem.Atom(addrs[lane], size, func(o uint64) (uint64, bool) {
@@ -558,7 +602,7 @@ func (e *Emulator) execMem(w *warpCtx, in *isa.Instruction, mask uint32, blockID
 		}
 	}
 	if mask != 0 {
-		ti.Lines = coalesce(nil, &addrs, mask, size, e.lineSize)
+		ti.Lines = e.coalesceArena(&addrs, mask, size)
 	}
 	return nil
 }

@@ -27,6 +27,11 @@ type Memory struct {
 	// Written counts bytes backed by materialized chunks, for tests and
 	// footprint reporting.
 	allocated int
+	// Single-entry chunk cache: warp accesses are heavily clustered, so
+	// most lookups hit the chunk of the previous one. Chunks are never
+	// removed from the map, so the cached slice cannot go stale.
+	lastKey   uint64
+	lastChunk []byte
 }
 
 // NewMemory returns an empty functional memory.
@@ -39,11 +44,17 @@ func (m *Memory) AllocatedBytes() int { return m.allocated }
 
 func (m *Memory) chunk(addr uint64, create bool) []byte {
 	key := addr >> chunkBits
+	if m.lastChunk != nil && m.lastKey == key {
+		return m.lastChunk
+	}
 	c := m.chunks[key]
 	if c == nil && create {
 		c = make([]byte, chunkSize)
 		m.chunks[key] = c
 		m.allocated += chunkSize
+	}
+	if c != nil {
+		m.lastKey, m.lastChunk = key, c
 	}
 	return c
 }

@@ -2,6 +2,7 @@ package emu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gpues/internal/isa"
 )
@@ -87,10 +88,8 @@ func (bt *BlockTrace) TouchedPages(pageSize int) map[uint64]bool {
 // SM generates exactly one memory request per unique line (Figure 5).
 func coalesce(dst []uint64, addrs *[32]uint64, mask uint32, size int, lineSize uint64) []uint64 {
 	lineMask := ^(lineSize - 1)
-	for lane := 0; lane < 32; lane++ {
-		if mask&(1<<lane) == 0 {
-			continue
-		}
+	for m := mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
 		first := addrs[lane] & lineMask
 		last := (addrs[lane] + uint64(size) - 1) & lineMask
 		for line := first; ; line += lineSize {

@@ -63,8 +63,17 @@ func (l *Link) Occupy(cycles int64, done func()) {
 		}
 	}
 	now := l.q.Now()
+	// Any channel already free (nextFree <= now) behaves identically to
+	// the earliest-free one — the transfer starts now either way, and
+	// the clock never goes back, so values at or below now stay
+	// interchangeable forever. Take the first free channel and skip the
+	// full min scan in the common uncontended case.
 	best := 0
-	for i := 1; i < len(l.channels); i++ {
+	for i := 0; i < len(l.channels); i++ {
+		if l.channels[i] <= now {
+			best = i
+			break
+		}
 		if l.channels[i] < l.channels[best] {
 			best = i
 		}

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gpues/internal/cache"
 	"gpues/internal/chaos"
@@ -53,7 +54,12 @@ type Result struct {
 	// Derived totals.
 	Committed int64
 	Blocks    int
-	Occupancy int
+	// Occupancy aggregates blocks-per-SM across all SMs (they can
+	// differ when a launch does not fill the machine). Occupancy is the
+	// maximum — the launch's nominal blocks/SM.
+	Occupancy     int
+	OccupancyMin  int
+	OccupancyMean float64
 }
 
 // IPC returns committed warp instructions per cycle across the GPU.
@@ -95,6 +101,12 @@ type Simulator struct {
 	chaos      *chaos.Plan
 	sweepEvery int64
 	nextSweep  int64
+
+	// active is the runnable-SM bitset (bit i set when sms[i] may need a
+	// tick). Bits are set by each SM's wake hook when an event callback
+	// wakes it, and cleared by the main loop when the SM reports itself
+	// idle or done, so quiescent SMs cost nothing per cycle.
+	active []uint64
 }
 
 // DefaultMaxCycles bounds a single kernel simulation.
@@ -241,6 +253,11 @@ func New(cfg config.Config, spec LaunchSpec) (*Simulator, error) {
 		}
 		s.sms[i] = sm.New(i, &s.cfg, s.q, l1, l1tlb, s.funit, s.disp, contextMover{s.mem})
 	}
+	s.active = make([]uint64, (len(s.sms)+63)/64)
+	for i := range s.sms {
+		w, bit := i>>6, uint(i)&63
+		s.sms[i].SetWakeHook(func() { s.active[w] |= 1 << bit })
+	}
 	return s, nil
 }
 
@@ -262,6 +279,16 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 	if err := s.disp.Err(); err != nil {
 		return nil, err
+	}
+	// Seed the active set: wake hooks only fire on the idle→awake
+	// transition, which the initial block fill never takes.
+	for i := range s.active {
+		s.active[i] = 0
+	}
+	for i, m := range s.sms {
+		if !m.Done() && !m.Idle() {
+			s.active[i>>6] |= 1 << (uint(i) & 63)
+		}
 	}
 
 	var wd *watchdog
@@ -292,11 +319,25 @@ func (s *Simulator) Run() (*Result, error) {
 				return nil, s.stallError("invariant", v)
 			}
 		}
+		// Tick the active set in SM index order. The bitset may
+		// over-approximate (a woken SM can be done), so each set bit
+		// re-checks the old scan's !Done && !Idle condition; SMs that
+		// fail it drop out of the set until their next wake.
 		anyActive := false
-		for _, m := range s.sms {
-			if !m.Done() && !m.Idle() {
+		for w, word := range s.active {
+			for word != 0 {
+				bit := bits.TrailingZeros64(word)
+				word &^= 1 << uint(bit)
+				m := s.sms[w<<6+bit]
+				if m.Done() || m.Idle() {
+					s.active[w] &^= 1 << uint(bit)
+					continue
+				}
 				m.Tick()
 				anyActive = true
+				if m.Done() || m.Idle() {
+					s.active[w] &^= 1 << uint(bit)
+				}
 			}
 		}
 		if err := s.firstError(); err != nil {
@@ -382,7 +423,19 @@ func (s *Simulator) collect() *Result {
 		r.Committed += st.Committed
 	}
 	if len(s.sms) > 0 {
-		r.Occupancy = s.sms[0].Occupancy()
+		sum := 0
+		r.OccupancyMin = s.sms[0].Occupancy()
+		for _, m := range s.sms {
+			occ := m.Occupancy()
+			sum += occ
+			if occ > r.Occupancy {
+				r.Occupancy = occ
+			}
+			if occ < r.OccupancyMin {
+				r.OccupancyMin = occ
+			}
+		}
+		r.OccupancyMean = float64(sum) / float64(len(s.sms))
 	}
 	return r
 }

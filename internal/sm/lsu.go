@@ -17,19 +17,36 @@ func (s *SM) startMem(f *flight) {
 	lines := f.ti.Lines
 	if len(lines) == 0 {
 		// All lanes predicated off: nothing to access.
-		s.q.After(1, func() { s.wake(); s.commit(f) })
+		s.q.After(1, f.commitFn)
 		return
 	}
-	f.reqs = make([]memReq, len(lines))
-	for i := range lines {
-		f.reqs[i] = memReq{line: lines[i]}
+	n := len(lines)
+	if cap(f.reqs) >= n {
+		f.reqs = f.reqs[:n]
+	} else {
+		f.reqs = make([]memReq, n)
 	}
-	f.tlbRem = len(lines)
-	f.reqRem = len(lines)
-	s.stats.MemRequests += int64(len(lines))
-	for i := range f.reqs {
-		r := &f.reqs[i]
-		s.q.After(int64(i)+1, func() { s.translate(f, r) })
+	for i := range lines {
+		f.reqs[i] = memReq{line: lines[i], idx: int32(i)}
+	}
+	// Extend the per-index closure set to cover this instruction's
+	// request count; the closures dereference &f.reqs[i] when they fire,
+	// so they survive reqs reslicing across flight reuses.
+	for i := len(f.trFns); i < n; i++ {
+		i := i
+		f.trFns = append(f.trFns, func() { s.translate(f, &f.reqs[i]) })
+		f.tlbFns = append(f.tlbFns, func(res tlb.Result) {
+			s.wake()
+			s.onTranslated(f, &f.reqs[i], res)
+		})
+		f.accFns = append(f.accFns, func() { s.accessDone(f, &f.reqs[i]) })
+		f.accRetry = append(f.accRetry, func() { s.access(f, &f.reqs[i]) })
+	}
+	f.tlbRem = n
+	f.reqRem = n
+	s.stats.MemRequests += int64(n)
+	for i := 0; i < n; i++ {
+		s.q.After(int64(i)+1, f.trFns[i])
 	}
 }
 
@@ -41,12 +58,9 @@ func (s *SM) translate(f *flight, r *memReq) {
 		return
 	}
 	page := r.line &^ (uint64(s.cfg.System.PageSize) - 1)
-	ok := s.l1tlb.Lookup(page, func(res tlb.Result) {
-		s.wake()
-		s.onTranslated(f, r, res)
-	})
+	ok := s.l1tlb.Lookup(page, f.tlbFns[r.idx])
 	if !ok {
-		s.l1tlb.OnFree(func() { s.translate(f, r) })
+		s.l1tlb.OnFree(f.trFns[r.idx])
 	}
 }
 
@@ -112,19 +126,22 @@ func (s *SM) access(f *flight, r *memReq) {
 		return
 	}
 	write := f.ti.Static.Op == isa.OpStGlobal || f.ti.Static.Op == isa.OpAtomGlobal
-	ok := s.l1.Access(r.line, write, func() {
-		s.wake()
-		if f.squashed || r.state == reqDone {
-			return
-		}
-		r.state = reqDone
-		f.reqRem--
-		if f.reqRem == 0 && !f.faulted {
-			s.q.After(1, func() { s.wake(); s.commit(f) })
-		}
-	})
+	ok := s.l1.Access(r.line, write, f.accFns[r.idx])
 	if !ok {
-		s.l1.OnFree(func() { s.access(f, r) })
+		s.l1.OnFree(f.accRetry[r.idx])
+	}
+}
+
+// accessDone is the cache-hierarchy completion for one request.
+func (s *SM) accessDone(f *flight, r *memReq) {
+	s.wake()
+	if f.squashed || r.state == reqDone {
+		return
+	}
+	r.state = reqDone
+	f.reqRem--
+	if f.reqRem == 0 && !f.faulted {
+		s.q.After(1, f.commitFn)
 	}
 }
 
@@ -202,6 +219,10 @@ func (s *SM) squashAndRaise(f *flight) {
 			w.fetchOwner = nil
 		}
 		w.buf = nil
+		s.clrBuf(s.warpIndex(w))
+		// The flushed flight never issued, so nothing was scheduled
+		// against it; it can go straight back to the pool.
+		s.freeFlight(buf)
 	}
 	// Collect the distinct faulting pages.
 	kinds := make(map[uint64]vm.FaultKind)

@@ -110,6 +110,7 @@ func (s *SM) saveBlock(b *blockRT) {
 		s.slots[slot] = nil
 		for i := 0; i < s.warpsPerBlock; i++ {
 			s.warps[slot*s.warpsPerBlock+i] = nil
+			s.clrBuf(slot*s.warpsPerBlock + i)
 		}
 		s.offchip = append(s.offchip, b)
 		s.refillAfterSwitch(slot)
@@ -152,9 +153,13 @@ func (s *SM) restoreReadyBlock(slot int) bool {
 	s.slots[slot] = b
 	for i, w := range b.warps {
 		s.warps[slot*s.warpsPerBlock+i] = w
+		if w != nil && w.buf != nil {
+			s.setBuf(slot*s.warpsPerBlock + i)
+		}
 	}
 	for i := len(b.warps); i < s.warpsPerBlock; i++ {
 		s.warps[slot*s.warpsPerBlock+i] = nil
+		s.clrBuf(slot*s.warpsPerBlock + i)
 	}
 	bytes := s.contextSize(b)
 	s.stats.ContextBytes += int64(bytes)

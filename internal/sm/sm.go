@@ -1,6 +1,8 @@
 package sm
 
 import (
+	"math/bits"
+
 	"gpues/internal/cache"
 	"gpues/internal/clock"
 	"gpues/internal/config"
@@ -122,9 +124,21 @@ type SM struct {
 	warps     []*warpRT // all warp slots (occupancy * warpsPerBlock)
 	lastFetch int
 	lastIssue int
+	// bufMask marks warp slots holding a fetched instruction (bit i set
+	// iff warps[i] != nil && warps[i].buf != nil). doIssue walks only
+	// the set bits — in the same ascending wrap-around order as a full
+	// slot scan, which skips empty slots anyway.
+	bufMask []uint64
+
+	// flightPool is a free list of flight objects; see newFlight.
+	flightPool *flight
 
 	idle  bool // nothing proceeded last tick; sleep until next event
 	stats Stats
+
+	// onWake, when set, fires on the idle→awake transition; the main
+	// loop uses it to put the SM back into its active set.
+	onWake func()
 
 	// OnEvent, when set, receives pipeline events for tests and tracing:
 	// kind is one of "fetch", "issue", "lastcheck", "commit", "squash";
@@ -187,6 +201,7 @@ func (s *SM) PrepareLaunch(l *kernel.Launch) {
 	s.assigned = 0
 	s.warps = make([]*warpRT, s.occupancy*s.warpsPerBlock)
 	s.lastFetch, s.lastIssue = 0, 0
+	s.bufMask = make([]uint64, (len(s.warps)+63)/64)
 	s.idle = false
 }
 
@@ -253,9 +268,60 @@ func (s *SM) activateBlock(slot int, bt *emu.BlockTrace) {
 	}
 }
 
+// newFlight takes a flight from the pool (or builds one, wiring its
+// reusable closures to the new object) and resets its per-use state.
+// Slice capacities and the closure set survive reuse, so the
+// fetch/issue/memory path stops allocating once the pool is warm.
+func (s *SM) newFlight(w *warpRT, ti *emu.TraceInst, tIdx int32, isReplay bool) *flight {
+	f := s.flightPool
+	if f == nil {
+		f = &flight{}
+		f.opReadFn = func() { s.wake(); s.opRead(f) }
+		f.commitFn = func() { s.wake(); s.commit(f) }
+	} else {
+		s.flightPool = f.poolNext
+		f.poolNext = nil
+	}
+	f.w, f.ti, f.tIdx, f.isReplay = w, ti, tIdx, isReplay
+	f.srcHeld = f.srcHeld[:0]
+	f.reqs = f.reqs[:0]
+	f.tlbRem, f.reqRem = 0, 0
+	f.faulted, f.squashed, f.committed = false, false, false
+	f.logHeld = 0
+	f.wdOwner = false
+	return f
+}
+
+// freeFlight returns a flight to the pool. Callers must guarantee no
+// scheduled event still references it: commit (all translations and
+// cache completions have fired by then) and the fetch-buffer flush in
+// squashAndRaise (never issued, so nothing was scheduled) qualify.
+// Squashed flights are never recycled — stale TLB fill and cache
+// callbacks may still hold them, relying on the squashed flag staying
+// set.
+func (s *SM) freeFlight(f *flight) {
+	if f.squashed {
+		return
+	}
+	f.w, f.ti = nil, nil
+	f.poolNext = s.flightPool
+	s.flightPool = f
+}
+
+// SetWakeHook installs the idle→awake notification used by the
+// active-set scheduler in sim.Run; nil removes it.
+func (s *SM) SetWakeHook(h func()) { s.onWake = h }
+
 // wake marks the SM runnable; every event callback that changes SM
 // state calls it.
-func (s *SM) wake() { s.idle = false }
+func (s *SM) wake() {
+	if s.idle {
+		s.idle = false
+		if s.onWake != nil {
+			s.onWake()
+		}
+	}
+}
 
 // Idle reports whether the SM had nothing to do at its last tick and is
 // waiting for an event.
@@ -289,9 +355,12 @@ func (s *SM) doFetch() bool {
 	}
 	budget := fetchWidth
 	n := len(s.warps)
-	start := s.lastFetch
-	for i := 0; i < n && budget > 0; i++ {
-		w := s.warps[(start+1+i)%n]
+	pos := s.lastFetch + 1
+	if pos >= n {
+		pos -= n
+	}
+	for i := 0; i < n && budget > 0; i, pos = i+1, wrapNext(pos, n) {
+		w := s.warps[pos]
 		if w == nil || w.done || w.buf != nil || w.fetchBlock != fetchOK ||
 			w.atBarrier || w.faultsOutstanding > 0 || w.block.state != blockActive {
 			continue
@@ -301,7 +370,7 @@ func (s *SM) doFetch() bool {
 			continue
 		}
 		ti := &w.trace[idx]
-		f := &flight{w: w, ti: ti, tIdx: idx, isReplay: isReplay}
+		f := s.newFlight(w, ti, idx, isReplay)
 		if isReplay {
 			w.replay = w.replay[1:]
 			s.stats.Replays++
@@ -309,6 +378,7 @@ func (s *SM) doFetch() bool {
 			w.cursor++
 		}
 		w.buf = f
+		s.setBuf(pos)
 		w.bufReady = s.q.Now() + 1
 		if ti.Static.IsControl() {
 			w.fetchBlock = fetchControl
@@ -319,7 +389,7 @@ func (s *SM) doFetch() bool {
 			w.fetchOwner = f
 			f.wdOwner = true
 		}
-		s.lastFetch = (start + 1 + i) % n
+		s.lastFetch = pos
 		s.stats.Fetched++
 		s.event("fetch", w, idx)
 		budget--
@@ -327,13 +397,37 @@ func (s *SM) doFetch() bool {
 	return budget < fetchWidth
 }
 
+// wrapNext advances a round-robin index without a modulo.
+func wrapNext(pos, n int) int {
+	pos++
+	if pos == n {
+		pos = 0
+	}
+	return pos
+}
+
+func (s *SM) setBuf(i int) { s.bufMask[i>>6] |= 1 << (uint(i) & 63) }
+func (s *SM) clrBuf(i int) { s.bufMask[i>>6] &^= 1 << (uint(i) & 63) }
+
+// warpIndex returns a resident warp's slot in s.warps.
+func (s *SM) warpIndex(w *warpRT) int { return w.block.slot*s.warpsPerBlock + w.idx }
+
 func (s *SM) doIssue() bool {
 	if len(s.warps) == 0 {
 		return false
 	}
+	var any uint64
+	for _, wd := range s.bufMask {
+		any |= wd
+	}
+	if any == 0 {
+		return false
+	}
 	budget := s.cfg.SM.IssueWidth
 	warpsLeft := s.cfg.SM.IssueWarps
-	unitBudget := map[isa.Unit]int{
+	// Per-unit issue ports, indexed by isa.Unit (a map here shows up as
+	// hashing in the cycle-loop profile).
+	unitBudget := [...]int{
 		isa.UnitMath:      s.cfg.SM.MathUnits,
 		isa.UnitSpecial:   s.cfg.SM.SpecialUnits,
 		isa.UnitLoadStore: s.cfg.SM.LoadStore,
@@ -349,8 +443,37 @@ func (s *SM) doIssue() bool {
 		first = 0
 	}
 	issuedAny := false
-	for i := 0; i < n && budget > 0 && warpsLeft > 0; i++ {
-		w := s.warps[(start+first+i)%n]
+	pos := start + first
+	if pos >= n {
+		pos -= n
+	}
+	// Walk the set bits of bufMask ascending from pos, wrapping once:
+	// the starting word is visited twice, first its bits at or above
+	// pos, then (after the full wrap) its bits below pos. That is
+	// exactly the candidate sequence of a full slot scan, which skips
+	// unbuffered slots anyway.
+	nW := len(s.bufMask)
+	startW := pos >> 6
+	lowMask := uint64(1)<<(uint(pos)&63) - 1
+	wIdx := startW
+	cur := s.bufMask[startW] &^ lowMask
+	step := 0
+issueLoop:
+	for budget > 0 && warpsLeft > 0 {
+		for cur == 0 {
+			step++
+			if step > nW {
+				break issueLoop
+			}
+			wIdx = wrapNext(wIdx, nW)
+			cur = s.bufMask[wIdx]
+			if step == nW { // back at the starting word
+				cur &= lowMask
+			}
+		}
+		pos = wIdx<<6 | bits.TrailingZeros64(cur)
+		cur &= cur - 1
+		w := s.warps[pos]
 		if w == nil || w.done || w.buf == nil || w.bufReady > s.q.Now() ||
 			w.block.state != blockActive || w.faultsOutstanding > 0 {
 			continue
@@ -420,13 +543,14 @@ func (s *SM) doIssue() bool {
 		}
 		w.inFlight++
 		w.buf = nil
+		s.clrBuf(pos)
 		s.stats.Issued++
 		s.event("issue", w, f.tIdx)
-		s.q.After(1, func() { s.wake(); s.opRead(f) })
+		s.q.After(1, f.opReadFn)
 		budget--
 		unitBudget[unit]--
 		warpsLeft--
-		s.lastIssue = (start + first + i) % n
+		s.lastIssue = pos
 		issuedAny = true
 	}
 	return issuedAny
@@ -453,17 +577,17 @@ func (s *SM) opRead(f *flight) {
 	case in.Op == isa.OpBar:
 		s.arriveBarrier(f)
 	case in.Op == isa.OpExit:
-		s.q.After(1, func() { s.wake(); s.commit(f) })
+		s.q.After(1, f.commitFn)
 	case in.Op == isa.OpBra:
-		s.q.After(int64(s.cfg.SM.BranchLatency), func() { s.wake(); s.commit(f) })
+		s.q.After(int64(s.cfg.SM.BranchLatency), f.commitFn)
 	case in.Op == isa.OpLdShared || in.Op == isa.OpStShared:
-		s.q.After(int64(s.cfg.SM.SharedLatency), func() { s.wake(); s.commit(f) })
+		s.q.After(int64(s.cfg.SM.SharedLatency), f.commitFn)
 	case in.IsGlobalMem():
 		s.startMem(f)
 	case in.ExecUnit() == isa.UnitSpecial:
-		s.q.After(int64(s.cfg.SM.SpecialLatency), func() { s.wake(); s.commit(f) })
+		s.q.After(int64(s.cfg.SM.SpecialLatency), f.commitFn)
 	default:
-		s.q.After(int64(s.cfg.SM.MathLatency), func() { s.wake(); s.commit(f) })
+		s.q.After(int64(s.cfg.SM.MathLatency), f.commitFn)
 	}
 }
 
@@ -483,7 +607,7 @@ func (s *SM) arriveBarrier(f *flight) {
 				bw.atBarrier = false
 				bf := bw.barFlight
 				bw.barFlight = nil
-				s.q.After(1, func() { s.wake(); s.commit(bf) })
+				s.q.After(1, bf.commitFn)
 			}
 		}
 	}
@@ -513,6 +637,7 @@ func (s *SM) commit(f *flight) {
 	}
 	s.afterDrainStep(w.block)
 	s.checkWarpDone(w)
+	s.freeFlight(f)
 }
 
 // checkWarpDone marks the warp done when its trace is exhausted, and
@@ -532,7 +657,7 @@ func (s *SM) checkWarpDone(w *warpRT) {
 				bw.atBarrier = false
 				bf := bw.barFlight
 				bw.barFlight = nil
-				s.q.After(1, func() { s.wake(); s.commit(bf) })
+				s.q.After(1, bf.commitFn)
 			}
 		}
 	}
@@ -547,6 +672,7 @@ func (s *SM) blockFinished(b *blockRT) {
 	s.slots[slot] = nil
 	for i := 0; i < s.warpsPerBlock; i++ {
 		s.warps[slot*s.warpsPerBlock+i] = nil
+		s.clrBuf(slot*s.warpsPerBlock + i)
 	}
 	s.assigned--
 	s.src.BlockDone(s.ID, b.id)

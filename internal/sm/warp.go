@@ -15,6 +15,7 @@ package sm
 import (
 	"gpues/internal/emu"
 	"gpues/internal/isa"
+	"gpues/internal/tlb"
 	"gpues/internal/vm"
 )
 
@@ -88,12 +89,19 @@ const (
 )
 
 type memReq struct {
-	line      uint64
+	line uint64
+	// idx is the request's position in flight.reqs, so retry and
+	// completion paths can reuse the flight's prebuilt per-index
+	// closures instead of allocating fresh ones.
+	idx       int32
 	state     memReqState
 	faultKind vm.FaultKind
 }
 
-// flight is one in-flight dynamic instruction.
+// flight is one in-flight dynamic instruction. Flights are pooled per
+// SM (see SM.newFlight/freeFlight): the per-use fields below reset on
+// reuse, while the prebuilt closures and slice capacities persist so
+// steady-state execution schedules events without allocating.
 type flight struct {
 	w        *warpRT
 	ti       *emu.TraceInst
@@ -111,6 +119,18 @@ type flight struct {
 	logHeld   int  // operand log entries held by this instruction
 	wdOwner   bool // this flight disabled its warp's fetch (wd schemes)
 	committed bool
+
+	// Prebuilt closures, created once per pooled flight object. The
+	// per-index ones resolve &reqs[i] at fire time, so reslicing reqs
+	// between uses is safe.
+	opReadFn func()             // wake + opRead(f)
+	commitFn func()             // wake + commit(f)
+	trFns    []func()           // [i]: translate(f, &reqs[i]); also the TLB OnFree retry
+	tlbFns   []func(tlb.Result) // [i]: wake + onTranslated(f, &reqs[i], res)
+	accFns   []func()           // [i]: accessDone(f, &reqs[i]) — the cache completion
+	accRetry []func()           // [i]: access(f, &reqs[i]) — the MSHR-full retry
+
+	poolNext *flight
 }
 
 func (f *flight) global() bool { return f.ti.Static.IsGlobalMem() }

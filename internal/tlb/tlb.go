@@ -52,9 +52,28 @@ type tlbEntry struct {
 	lru   int64
 }
 
+// tlbMSHR tracks one outstanding translation miss. Like cache MSHRs,
+// they are pooled: waiters capacity and the prebuilt issue/fill
+// closures survive reuse so steady-state misses do not allocate.
 type tlbMSHR struct {
+	pageVA  uint64
+	vpn     uint64
 	waiters []func(Result)
 	born    int64 // cycle the miss was allocated (leak detection)
+
+	issueFn func()       // issue(m); also the downstream-full retry
+	fillFn  func(Result) // fill(m, r) — the downstream completion
+	next    *tlbMSHR     // free list
+}
+
+// delivery carries one hit result through the latency delay. Deliveries
+// are pooled so the hit path — the common case on the L1 TLB, once per
+// coalesced request — schedules without allocating.
+type delivery struct {
+	done func(Result)
+	r    Result
+	fire func()
+	next *delivery
 }
 
 // TLB is one translation level backed by a lower Level.
@@ -66,9 +85,33 @@ type TLB struct {
 	q        *clock.Queue
 	next     Level
 	mshrs    map[uint64]*tlbMSHR
+	pool     *tlbMSHR  // free list of recycled MSHRs
+	deliver  *delivery // free list of recycled hit deliveries
 	stats    Stats
 	tick     int64
 	waiters  []func()
+}
+
+// sendResult schedules done(r) after the TLB latency using a pooled
+// delivery node. The node recycles itself when it fires, after copying
+// its payload out, so re-entrant lookups from inside done reuse it.
+func (t *TLB) sendResult(done func(Result), r Result) {
+	d := t.deliver
+	if d == nil {
+		d = &delivery{}
+		d.fire = func() {
+			dn, res := d.done, d.r
+			d.done = nil
+			d.next = t.deliver
+			t.deliver = d
+			dn(res)
+		}
+	} else {
+		t.deliver = d.next
+		d.next = nil
+	}
+	d.done, d.r = done, r
+	t.q.After(t.cfg.Latency, d.fire)
 }
 
 // freeNotifier is implemented by levels that can call back when miss
@@ -154,7 +197,7 @@ func (t *TLB) Lookup(pageVA uint64, done func(Result)) bool {
 		t.stats.Hits++
 		t.tick++
 		e.lru = t.tick
-		t.q.After(t.cfg.Latency, func() { done(Result{Present: true}) })
+		t.sendResult(done, Result{Present: true})
 		return true
 	}
 	if m, ok := t.mshrs[vpn]; ok {
@@ -167,32 +210,58 @@ func (t *TLB) Lookup(pageVA uint64, done func(Result)) bool {
 		return false
 	}
 	t.stats.Misses++
-	m := &tlbMSHR{waiters: []func(Result){done}, born: t.q.Now()}
+	m := t.allocMSHR(pageVA, vpn)
+	m.waiters = append(m.waiters, done)
 	t.mshrs[vpn] = m
-	t.q.After(t.cfg.Latency, func() { t.issue(pageVA, vpn, m) })
+	t.q.After(t.cfg.Latency, m.issueFn)
 	return true
 }
 
-func (t *TLB) issue(pageVA, vpn uint64, m *tlbMSHR) {
-	ok := t.next.Lookup(pageVA, func(r Result) {
-		if r.Present {
-			t.install(vpn)
-		} else {
-			t.stats.Faults++
-		}
-		delete(t.mshrs, vpn)
-		for _, w := range m.waiters {
-			w(r)
-		}
-		t.release()
-	})
-	if !ok {
+// allocMSHR takes a miss tracker from the pool (or builds one, wiring
+// its reusable closures) and resets its per-miss state.
+func (t *TLB) allocMSHR(pageVA, vpn uint64) *tlbMSHR {
+	m := t.pool
+	if m == nil {
+		m = &tlbMSHR{}
+		m.issueFn = func() { t.issue(m) }
+		m.fillFn = func(r Result) { t.fill(m, r) }
+	} else {
+		t.pool = m.next
+		m.next = nil
+	}
+	m.pageVA, m.vpn = pageVA, vpn
+	m.born = t.q.Now()
+	m.waiters = m.waiters[:0]
+	return m
+}
+
+func (t *TLB) issue(m *tlbMSHR) {
+	if !t.next.Lookup(m.pageVA, m.fillFn) {
 		if fn, okN := t.next.(freeNotifier); okN {
-			fn.OnFree(func() { t.issue(pageVA, vpn, m) })
+			fn.OnFree(m.issueFn)
 		} else {
-			t.q.After(1, func() { t.issue(pageVA, vpn, m) })
+			t.q.After(1, m.issueFn)
 		}
 	}
+}
+
+// fill completes a miss: install on a hit, retire the tracker, run the
+// merged waiters in arrival order, then recycle it (last, so waiters
+// that immediately re-miss get a different node).
+func (t *TLB) fill(m *tlbMSHR, r Result) {
+	if r.Present {
+		t.install(m.vpn)
+	} else {
+		t.stats.Faults++
+	}
+	delete(t.mshrs, m.vpn)
+	for _, w := range m.waiters {
+		w(r)
+	}
+	t.release()
+	m.waiters = m.waiters[:0]
+	m.next = t.pool
+	t.pool = m
 }
 
 // CheckInvariants validates the TLB's structural state: MSHR occupancy
