@@ -1,7 +1,9 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON report. CI runs it after the benchmark job to
-// publish a BENCH_<sha>.json artifact holding both wall time (ns/op)
-// and the simulated cycle counts (sim-cycles), so a perf or timing
+// publish a BENCH_<sha>.json artifact holding wall time (ns/op), the
+// simulated cycle counts (sim-cycles), and the observability metrics
+// the fault-driven benchmarks attach (fault-lat-mean, fault-lat-p99,
+// and the per-reason stall-<reason> breakdown), so a perf or timing
 // regression between two commits is a one-line diff of two artifacts.
 //
 // Example:

@@ -10,7 +10,7 @@ goarch: amd64
 pkg: gpues
 cpu: AMD EPYC 7B13
 BenchmarkFig10/baseline         	       1	 579904096 ns/op	    117137 sim-cycles
-BenchmarkFig10/replay-queue     	       1	 541994459 ns/op	    129906 sim-cycles
+BenchmarkFig10/replay-queue     	       1	 541994459 ns/op	    129906 sim-cycles	    100209 fault-lat-mean	    239999 fault-lat-p99	  66348088 stall-fault-wait
 BenchmarkTable2                 	       1	     17834 ns/op
 BenchmarkEmulator               	       1	  80718509 ns/op	   2626064 warp-insts/s
 --- some test log noise
@@ -38,6 +38,10 @@ func TestParse(t *testing.T) {
 	}
 	if b.Metrics["ns/op"] != 579904096 || b.Metrics["sim-cycles"] != 117137 {
 		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	rq := rep.Benchmarks[1]
+	if rq.Metrics["fault-lat-p99"] != 239999 || rq.Metrics["stall-fault-wait"] != 66348088 {
+		t.Fatalf("fault metrics = %v", rq.Metrics)
 	}
 	if rep.Benchmarks[2].Metrics["sim-cycles"] != 0 {
 		t.Fatalf("Table2 should have no sim-cycles: %v", rep.Benchmarks[2].Metrics)

@@ -30,6 +30,8 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceDir = flag.String("trace-dir", "", "write one Chrome trace JSON per simulation into this directory")
+		traceFlt = flag.String("trace-filter", "", "comma-separated event kinds or groups to trace (with -trace-dir); empty records everything")
 	)
 	flag.Parse()
 
@@ -39,7 +41,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	opt := gpues.ExperimentOptions{Scale: *scale, Parallelism: *par}
+	opt := gpues.ExperimentOptions{Scale: *scale, Parallelism: *par,
+		TraceDir: *traceDir, TraceFilter: *traceFlt}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}

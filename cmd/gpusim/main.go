@@ -7,6 +7,8 @@
 //	gpusim -workload lbm -scheme replay-queue
 //	gpusim -workload stencil -paging -switching -link pcie
 //	gpusim -workload halloc-spree -lazy -local
+//	gpusim -workload stencil -paging -switching -trace run.trace.json -trace-filter fault,switch,migrate,replay
+//	gpusim -workload sgemm -metrics metrics.csv
 //	gpusim -list
 package main
 
@@ -14,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gpues"
 	"gpues/internal/prof"
@@ -37,6 +40,9 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-SM statistics")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (.bin for the compact binary format); view in Perfetto")
+		traceFlt  = flag.String("trace-filter", "", "comma-separated event kinds or groups to record (all, pipeline, stall, fault, replay, switch, migrate, local); empty records everything")
+		metricsFn = flag.String("metrics", "", "write the metrics registry snapshot to this file (.csv for CSV, otherwise JSON)")
 	)
 	flag.Parse()
 
@@ -106,6 +112,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	// Tracing: build the tracer up front; writeTrace runs on every exit
+	// path (the trace of a failed run is the most valuable one).
+	var tracer *gpues.Tracer
+	if *traceOut != "" {
+		mask, err := gpues.ParseTraceFilter(*traceFlt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		tracer = gpues.NewTracer(gpues.TracerOptions{Filter: mask})
+	}
+	writeTrace := func() {
+		if tracer == nil {
+			return
+		}
+		if err := writeTraceFile(tracer, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	stopProf, err := prof.StartCPU(*cpuProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -118,9 +146,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		cr, err := gpues.RunChaos(cfg, spec, plan)
+		cr, err := gpues.RunChaosTraced(cfg, spec, plan, tracer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			writeTrace()
 			os.Exit(1)
 		}
 		res = cr.Result
@@ -133,13 +162,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "oracle        MISMATCH: %d bytes diverge, first at %#x\n",
 				len(cr.Mismatches), cr.Mismatches[0].Addr)
 			stopProf()
+			writeTrace()
 			os.Exit(1)
 		}
 	} else {
-		var err error
-		res, err = gpues.Run(cfg, spec)
+		s, err := gpues.NewSimulator(cfg, spec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s.AttachTracer(tracer)
+		res, err = s.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			writeTrace()
 			os.Exit(1)
 		}
 	}
@@ -147,6 +183,13 @@ func main() {
 	if err := prof.WriteHeap(*memProf); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	writeTrace()
+	if *metricsFn != "" {
+		if err := writeMetricsFile(res.Metrics, *metricsFn); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("workload      %s (scale %d, %d blocks of %d threads)\n",
@@ -182,6 +225,25 @@ func main() {
 	if out > 0 {
 		fmt.Printf("switching     %d blocks out, %d restored\n", out, in)
 	}
+	if st := res.Stalls.Total(); st > 0 {
+		fmt.Printf("stalls        ")
+		first := true
+		for r := gpues.StallReasonFirst; r < gpues.StallReasonCount; r++ {
+			if res.Stalls[r] == 0 {
+				continue
+			}
+			if !first {
+				fmt.Printf(", ")
+			}
+			fmt.Printf("%s=%d", r, res.Stalls[r])
+			first = false
+		}
+		fmt.Println()
+	}
+	if fl, ok := res.Metrics.Histograms["fault.latency_cycles"]; ok && fl.Count > 0 {
+		fmt.Printf("fault latency mean %.0f cycles, p50 %d, p99 %d (%d regions)\n",
+			fl.Mean, fl.P50, fl.P99, fl.Count)
+	}
 	if *verbose {
 		fmt.Println("\nper-SM:")
 		for i, s := range res.SMs {
@@ -190,4 +252,40 @@ func main() {
 				s.Faults, s.SwitchesOut, s.SwitchesIn)
 		}
 	}
+}
+
+// writeTraceFile exports the tracer: Chrome trace_event JSON, or the
+// compact binary format when the path ends in .bin.
+func writeTraceFile(tr *gpues.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".bin") {
+		err = tr.WriteBinary(f)
+	} else {
+		err = tr.WriteChrome(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeMetricsFile exports the metrics snapshot: CSV when the path ends
+// in .csv, JSON otherwise.
+func writeMetricsFile(m gpues.MetricsSnapshot, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = m.WriteCSV(f)
+	} else {
+		err = m.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -31,6 +31,7 @@ import (
 	"gpues/internal/experiments"
 	"gpues/internal/isa"
 	"gpues/internal/kernel"
+	"gpues/internal/obs"
 	"gpues/internal/sim"
 	"gpues/internal/vm"
 	"gpues/internal/workloads"
@@ -132,6 +133,52 @@ func ChaosPlanForLevel(level int, seed int64) (*ChaosPlan, error) {
 func RunChaos(cfg Config, spec LaunchSpec, plan *ChaosPlan) (*ChaosResult, error) {
 	return sim.RunChaos(cfg, spec, plan)
 }
+
+// RunChaosTraced is RunChaos with an explicit tracer whose events
+// survive the run for export; a nil tracer still attaches a small
+// flight recorder for stall reports.
+func RunChaosTraced(cfg Config, spec LaunchSpec, plan *ChaosPlan, tr *Tracer) (*ChaosResult, error) {
+	return sim.RunChaosTraced(cfg, spec, plan, tr)
+}
+
+// Observability ----------------------------------------------------------
+
+// Tracer records typed simulation events into per-SM ring buffers for
+// Chrome-trace or binary export. Attach one with Simulator.AttachTracer
+// before Run; a nil or unattached tracer costs one branch per site.
+type Tracer = obs.Tracer
+
+// TracerOptions sizes and filters a Tracer.
+type TracerOptions = obs.Options
+
+// TraceEvent is one recorded simulation event.
+type TraceEvent = obs.Event
+
+// MetricsSnapshot is a point-in-time copy of the simulator's metrics
+// registry (Result.Metrics), exportable as JSON or CSV.
+type MetricsSnapshot = obs.Snapshot
+
+// StallBreakdown is the per-reason warp stall accounting
+// (Result.Stalls).
+type StallBreakdown = obs.StallBreakdown
+
+// StallReason indexes a StallBreakdown; String() returns its name.
+type StallReason = obs.StallReason
+
+// StallReasonFirst and StallReasonCount bound the StallReason range
+// for iteration.
+const (
+	StallReasonFirst StallReason = 0
+	StallReasonCount             = obs.NumStallReasons
+)
+
+// NewTracer builds a tracer from the options.
+func NewTracer(o TracerOptions) *Tracer { return obs.New(o) }
+
+// ParseTraceFilter parses a comma-separated list of event kinds or
+// groups (all, pipeline, stall, fault, replay, switch, migrate, local)
+// into a TracerOptions.Filter mask. Empty means everything.
+func ParseTraceFilter(s string) (uint64, error) { return obs.ParseFilter(s) }
 
 // Workloads --------------------------------------------------------------
 

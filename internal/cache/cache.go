@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"gpues/internal/clock"
+	"gpues/internal/obs"
 )
 
 // Backend is the next level below a cache (another cache or DRAM).
@@ -136,6 +137,15 @@ func New(cfg Config, q *clock.Queue, next Backend) (*Cache, error) {
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// RegisterMetrics exposes the cache's counters as gauges.
+func (c *Cache) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".hits", func() int64 { return c.stats.Hits })
+	reg.Gauge(prefix+".misses", func() int64 { return c.stats.Misses })
+	reg.Gauge(prefix+".mshr_merges", func() int64 { return c.stats.MSHRMerges })
+	reg.Gauge(prefix+".rejects", func() int64 { return c.stats.Rejects })
+	reg.Gauge(prefix+".writebacks", func() int64 { return c.stats.WriteBacks })
+}
 
 // InFlight returns the number of occupied MSHRs.
 func (c *Cache) InFlight() int { return len(c.mshrs) }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"gpues/internal/clock"
+	"gpues/internal/obs"
 	"gpues/internal/vm"
 )
 
@@ -37,6 +38,7 @@ type Stats struct {
 
 type regionFault struct {
 	pos     int
+	born    int64 // cycle the region entered the pending queue
 	waiters []func()
 }
 
@@ -55,6 +57,25 @@ type FaultUnit struct {
 	queued  int
 	stats   Stats
 	abort   error
+
+	tr      *obs.Tracer
+	latency *obs.Histogram // region service latency, queue entry to resolution
+}
+
+// SetTracer installs the event tracer; nil disables tracing.
+func (u *FaultUnit) SetTracer(tr *obs.Tracer) { u.tr = tr }
+
+// SetLatency installs the fault-service-latency histogram; nil disables.
+func (u *FaultUnit) SetLatency(h *obs.Histogram) { u.latency = h }
+
+// RegisterMetrics exposes the fault unit's counters as gauges.
+func (u *FaultUnit) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".raised", func() int64 { return u.stats.Raised })
+	reg.Gauge(prefix+".regions", func() int64 { return u.stats.Regions })
+	reg.Gauge(prefix+".merged", func() int64 { return u.stats.Merged })
+	reg.Gauge(prefix+".routed_cpu", func() int64 { return u.stats.RoutedCPU })
+	reg.Gauge(prefix+".routed_local", func() int64 { return u.stats.RoutedLocal })
+	reg.Gauge(prefix+".max_queue", func() int64 { return int64(u.stats.MaxQueue) })
 }
 
 // NewFaultUnit builds the fault unit. local may be nil.
@@ -102,17 +123,25 @@ func (u *FaultUnit) RaiseFault(pageVA uint64, kind vm.FaultKind, smID int, resol
 		rf.waiters = append(rf.waiters, resolved)
 		return rf.pos
 	}
-	rf := &regionFault{pos: u.queued, waiters: []func(){resolved}}
+	rf := &regionFault{pos: u.queued, born: u.q.Now(), waiters: []func(){resolved}}
 	u.pending[region] = rf
 	u.queued++
 	if u.queued > u.stats.MaxQueue {
 		u.stats.MaxQueue = u.queued
 	}
 	u.stats.Regions++
+	if u.tr != nil {
+		u.tr.Emit(-1, obs.KRegionQueued, int32(smID), region, uint64(rf.pos))
+	}
 
 	complete := func() {
 		delete(u.pending, region)
 		u.queued--
+		wait := u.q.Now() - rf.born
+		u.latency.Observe(wait)
+		if u.tr != nil {
+			u.tr.Emit(-1, obs.KRegionResolved, int32(smID), region, uint64(wait))
+		}
 		for _, w := range rf.waiters {
 			w()
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpues/internal/clock"
+	"gpues/internal/obs"
 	"gpues/internal/vm"
 )
 
@@ -55,6 +56,17 @@ type LocalHandler struct {
 	allocs []*vm.PhysAllocator
 	stats  LocalStats
 	err    error
+	tr     *obs.Tracer
+}
+
+// SetTracer installs the event tracer; nil disables tracing.
+func (h *LocalHandler) SetTracer(tr *obs.Tracer) { h.tr = tr }
+
+// RegisterMetrics exposes the local handler's counters as gauges.
+func (h *LocalHandler) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".handled", func() int64 { return h.stats.Handled })
+	reg.Gauge(prefix+".pages_mapped", func() int64 { return h.stats.PagesMapped })
+	reg.Gauge(prefix+".serial_cycles", func() int64 { return h.stats.SerialCycles })
 }
 
 // NewLocalHandler builds the handler for numSMs SMs, partitioning the
@@ -110,7 +122,13 @@ func (h *LocalHandler) Service(regionBase uint64, kind vm.FaultKind, smID int, d
 	}
 	h.stats.SerialCycles += start - now
 	h.free[best] = start + h.cost
+	if h.tr != nil {
+		h.tr.Emit(-1, obs.KLocalStart, int32(smID), regionBase, uint64(start-now))
+	}
 	h.q.At(start+h.cost, func() {
+		if h.tr != nil {
+			h.tr.Emit(-1, obs.KLocalEnd, int32(smID), regionBase, 0)
+		}
 		if err := h.mapRegion(regionBase, smID); err != nil {
 			// Partition exhaustion: record for Simulator.firstError and
 			// leave the fault pending so the run aborts with a structured

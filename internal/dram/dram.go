@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"gpues/internal/clock"
+	"gpues/internal/obs"
 )
 
 // Stats counts DRAM traffic.
@@ -45,6 +46,15 @@ func New(q *clock.Queue, latency int64, bytesPerCycle float64, lineBytes int) (*
 
 // Stats returns a copy of the counters.
 func (d *DRAM) Stats() Stats { return d.stats }
+
+// RegisterMetrics exposes the DRAM counters as gauges.
+func (d *DRAM) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".reads", func() int64 { return d.stats.Reads })
+	reg.Gauge(prefix+".writes", func() int64 { return d.stats.Writes })
+	reg.Gauge(prefix+".bytes_read", func() int64 { return d.stats.BytesRead })
+	reg.Gauge(prefix+".bytes_written", func() int64 { return d.stats.BytesWrit })
+	reg.Gauge(prefix+".stall_cycles", func() int64 { return d.stats.StallCycles })
+}
 
 // occupy reserves pipe time for n bytes and returns the completion
 // cycle (start-of-service plus latency).

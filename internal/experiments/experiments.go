@@ -8,12 +8,15 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
 	"gpues/internal/config"
+	"gpues/internal/obs"
 	"gpues/internal/sim"
 	"gpues/internal/workloads"
 )
@@ -30,6 +33,12 @@ type Options struct {
 	Parallelism int
 	// Progress, when set, receives one line per completed run.
 	Progress func(string)
+	// TraceDir, when set, writes one Chrome trace JSON per simulation
+	// into the directory as <bench>-<column>.trace.json.
+	TraceDir string
+	// TraceFilter selects the traced event kinds (obs.ParseFilter
+	// syntax; empty records everything).
+	TraceFilter string
 }
 
 func (o Options) normalize() Options {
@@ -113,6 +122,43 @@ type runJob struct {
 	place     workloads.Placement
 }
 
+// runOne runs one job, attaching and exporting a tracer when the
+// options ask for per-run traces.
+func runOne(opt Options, j runJob, spec sim.LaunchSpec) (*sim.Result, error) {
+	if opt.TraceDir == "" {
+		return sim.RunSpec(j.cfg, spec)
+	}
+	mask, err := obs.ParseFilter(opt.TraceFilter)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(j.cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	tr := obs.New(obs.Options{Filter: mask})
+	s.AttachTracer(tr)
+	r, runErr := s.Run()
+	// Export even when the run failed — a failed run's trace is the
+	// most useful one. The run error still wins the return.
+	path := filepath.Join(opt.TraceDir, fmt.Sprintf("%s-%s.trace.json", j.bench, j.col))
+	werr := func() error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = tr.WriteChrome(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return r, werr
+}
+
 // runAll executes jobs with bounded parallelism and returns
 // cycles[bench][col].
 func runAll(opt Options, jobs []runJob) (map[string]map[string]int64, error) {
@@ -140,7 +186,7 @@ func runAll(opt Options, jobs []runJob) (map[string]map[string]int64, error) {
 				results <- out{j.bench, j.col, 0, err}
 				return
 			}
-			r, err := sim.RunSpec(j.cfg, spec)
+			r, err := runOne(opt, j, spec)
 			if err != nil {
 				results <- out{j.bench, j.col, 0, fmt.Errorf("%s/%s: %w", j.bench, j.col, err)}
 				return

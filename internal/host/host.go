@@ -13,6 +13,7 @@ import (
 	"gpues/internal/config"
 	"gpues/internal/emu"
 	"gpues/internal/interconnect"
+	"gpues/internal/obs"
 	"gpues/internal/vm"
 )
 
@@ -96,6 +97,19 @@ type FaultService struct {
 	cpuFree int64 // next cycle the CPU handler is free
 	stats   FaultStats
 	err     error
+	tr      *obs.Tracer
+}
+
+// SetTracer installs the event tracer; nil disables tracing.
+func (s *FaultService) SetTracer(tr *obs.Tracer) { s.tr = tr }
+
+// RegisterMetrics exposes the CPU fault service's counters as gauges.
+func (s *FaultService) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".served", func() int64 { return s.stats.Served })
+	reg.Gauge(prefix+".migrations", func() int64 { return s.stats.Migrations })
+	reg.Gauge(prefix+".alloc_only", func() int64 { return s.stats.AllocOnly })
+	reg.Gauge(prefix+".pages_mapped", func() int64 { return s.stats.PagesMapped })
+	reg.Gauge(prefix+".queue_cycles", func() int64 { return s.stats.QueueCycles })
 }
 
 // Delayer is the chaos hook of the fault service: extra cycles added to
@@ -166,10 +180,16 @@ func (s *FaultService) Service(regionBase uint64, kind vm.FaultKind, smID int, d
 	}
 	s.stats.QueueCycles += start - now
 	s.cpuFree = start + totalCycles
+	if s.tr != nil {
+		s.tr.Emit(-1, obs.KMigrateStart, int32(smID), regionBase, uint64(start-now))
+	}
 	s.q.At(start, func() {
 		s.link.Occupy(linkCycles, func() {})
 	})
 	s.q.At(start+totalCycles, func() {
+		if s.tr != nil {
+			s.tr.Emit(-1, obs.KMigrateEnd, int32(smID), regionBase, 0)
+		}
 		if err := s.mapRegion(regionBase); err != nil {
 			// Mapping can only fail on GPU memory exhaustion. Record the
 			// error for Simulator.firstError and leave the fault pending:

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"gpues/internal/clock"
+	"gpues/internal/obs"
 )
 
 // Stats counts link activity.
@@ -46,6 +47,13 @@ func (l *Link) Name() string { return l.name }
 
 // Stats returns a copy of the counters.
 func (l *Link) Stats() Stats { return l.stats }
+
+// RegisterMetrics exposes the link counters as gauges.
+func (l *Link) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".transfers", func() int64 { return l.stats.Transfers })
+	reg.Gauge(prefix+".busy_cycles", func() int64 { return l.stats.BusyCycles })
+	reg.Gauge(prefix+".stall_cycles", func() int64 { return l.stats.StallCycles })
+}
 
 // SetJitter installs the chaos hook; nil removes it.
 func (l *Link) SetJitter(j Jitter) { l.jitter = j }

@@ -1,0 +1,78 @@
+package obs
+
+// StallReason classifies why a warp could not issue (or make fetch
+// progress), reproducing the Figure-12-style cycle breakdown across the
+// exception schemes. In-loop reasons (scoreboard, port, log, chaos) are
+// counted at the issue stage's stall sites; interval reasons
+// (fault-wait, barrier, fetch-*, off-chip) accumulate the cycles
+// between the blocking event and its release.
+type StallReason uint8
+
+const (
+	// StallScoreboard: a RAW/WAW/WAR scoreboard hazard blocked issue.
+	StallScoreboard StallReason = iota
+	// StallPort: the instruction's execution-unit issue port was
+	// exhausted this cycle.
+	StallPort
+	// StallLogFull: the operand log partition had no free entries
+	// (operand-log scheme back-pressure, Section 3.3).
+	StallLogFull
+	// StallChaos: injected issue back-pressure (chaos plans).
+	StallChaos
+	// StallFaultWait: cycles a warp spent disabled with outstanding
+	// page faults (squash to last resolution).
+	StallFaultWait
+	// StallBarrier: cycles warps waited at bar.sync.
+	StallBarrier
+	// StallFetchCtl: cycles fetch was blocked behind an in-flight
+	// control instruction (baseline fetch rule, Section 2.1).
+	StallFetchCtl
+	// StallFetchWD: cycles fetch was blocked by warp disable (commit or
+	// last-TLB-check variant, Section 3.1).
+	StallFetchWD
+	// StallOffChip: cycles a block spent switched out (drain start to
+	// switch-in completion), per block.
+	StallOffChip
+
+	NumStallReasons
+)
+
+var stallNames = [NumStallReasons]string{
+	StallScoreboard: "scoreboard",
+	StallPort:       "port",
+	StallLogFull:    "log-full",
+	StallChaos:      "chaos",
+	StallFaultWait:  "fault-wait",
+	StallBarrier:    "barrier",
+	StallFetchCtl:   "fetch-control",
+	StallFetchWD:    "fetch-warp-disable",
+	StallOffChip:    "off-chip",
+}
+
+// String returns the kebab-case reason name used in metrics and docs.
+func (r StallReason) String() string {
+	if r < NumStallReasons {
+		return stallNames[r]
+	}
+	return "unknown"
+}
+
+// StallBreakdown accumulates cycles (or stall occurrences for the
+// in-loop reasons) per reason.
+type StallBreakdown [NumStallReasons]int64
+
+// Add folds another breakdown in.
+func (b *StallBreakdown) Add(o StallBreakdown) {
+	for i := range b {
+		b[i] += o[i]
+	}
+}
+
+// Total sums all reasons.
+func (b StallBreakdown) Total() int64 {
+	var t int64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}

@@ -7,6 +7,7 @@ import (
 	"gpues/internal/config"
 	"gpues/internal/emu"
 	"gpues/internal/kernel"
+	"gpues/internal/obs"
 )
 
 // DefaultInvariantInterval is the cycle period of the structural
@@ -92,6 +93,23 @@ func oracleMemory(l *kernel.Launch, mem *emu.Memory, lineSize int) (*emu.Memory,
 // ChaosResult carries the event log and fingerprint even when the run
 // itself fails (its Result is nil in that case).
 func RunChaos(cfg config.Config, spec LaunchSpec, plan *chaos.Plan) (*ChaosResult, error) {
+	return RunChaosTraced(cfg, spec, plan, nil)
+}
+
+// chaosRingSize bounds the default chaos flight recorder: enough for
+// the recent fault-lifecycle history without retaining a full run.
+const chaosRingSize = 4096
+
+// chaosTraceFilter is the default chaos flight-recorder filter: the
+// fault lifecycle plus context switching and both handler paths.
+const chaosTraceFilter = "fault,switch,migrate,local"
+
+// RunChaosTraced is RunChaos with an explicit tracer. When tr is nil, a
+// small flight-recorder tracer (fault, switch, migrate and local
+// events) is attached anyway, so a failing run's StallReport carries
+// the recent fault-lifecycle history; pass a tracer built from
+// obs.Options to keep it for export.
+func RunChaosTraced(cfg config.Config, spec LaunchSpec, plan *chaos.Plan, tr *obs.Tracer) (*ChaosResult, error) {
 	initial := spec.Memory
 	if initial == nil {
 		return nil, fmt.Errorf("sim: launch spec needs memory")
@@ -103,6 +121,14 @@ func RunChaos(cfg config.Config, spec LaunchSpec, plan *chaos.Plan) (*ChaosResul
 		return nil, err
 	}
 	s.AttachChaos(plan)
+	if tr == nil {
+		mask, ferr := obs.ParseFilter(chaosTraceFilter)
+		if ferr != nil {
+			return nil, ferr
+		}
+		tr = obs.New(obs.Options{Filter: mask, RingSize: chaosRingSize})
+	}
+	s.AttachTracer(tr)
 	r, err := s.Run()
 	cr := &ChaosResult{
 		Result:      r,

@@ -19,6 +19,7 @@ import (
 	"gpues/internal/host"
 	"gpues/internal/interconnect"
 	"gpues/internal/kernel"
+	"gpues/internal/obs"
 	"gpues/internal/sm"
 	"gpues/internal/tlb"
 	"gpues/internal/vm"
@@ -60,6 +61,11 @@ type Result struct {
 	Occupancy     int
 	OccupancyMin  int
 	OccupancyMean float64
+	// Stalls is the GPU-wide stall breakdown (per-SM breakdowns summed).
+	Stalls obs.StallBreakdown
+	// Metrics is the full registry snapshot: component counters plus the
+	// fault-latency and occupancy histograms.
+	Metrics obs.Snapshot
 }
 
 // IPC returns committed warp instructions per cycle across the GPU.
@@ -107,6 +113,11 @@ type Simulator struct {
 	// wakes it, and cleared by the main loop when the SM reports itself
 	// idle or done, so quiescent SMs cost nothing per cycle.
 	active []uint64
+
+	// reg holds the metrics registry; tracer is the attached event
+	// tracer (nil unless AttachTracer was called).
+	reg    *obs.Registry
+	tracer *obs.Tracer
 }
 
 // DefaultMaxCycles bounds a single kernel simulation.
@@ -258,8 +269,80 @@ func New(cfg config.Config, spec LaunchSpec) (*Simulator, error) {
 		w, bit := i>>6, uint(i)&63
 		s.sms[i].SetWakeHook(func() { s.active[w] |= 1 << bit })
 	}
+	s.registerMetrics()
 	return s, nil
 }
+
+// registerMetrics builds the metrics registry over the wired system:
+// component counters as gauges, the fault-service-latency histogram on
+// the fault unit, the shared replay-queue / operand-log occupancy
+// histograms across SMs, and the per-reason stall breakdown.
+func (s *Simulator) registerMetrics() {
+	s.reg = obs.NewRegistry()
+	s.l2.RegisterMetrics(s.reg, "l2")
+	s.l2tlb.RegisterMetrics(s.reg, "l2tlb")
+	s.fu.RegisterMetrics(s.reg, "fillunit")
+	s.mem.RegisterMetrics(s.reg, "dram")
+	s.link.RegisterMetrics(s.reg, "link")
+	s.cpu.RegisterMetrics(s.reg, "cpu.fault")
+	s.funit.RegisterMetrics(s.reg, "faultunit")
+	if s.local != nil {
+		s.local.RegisterMetrics(s.reg, "local")
+	}
+	s.funit.SetLatency(s.reg.Histogram("fault.latency_cycles"))
+	met := sm.Metrics{
+		ReplayOcc: s.reg.Histogram("sm.replay_occupancy"),
+		LogOcc:    s.reg.Histogram("sm.operand_log_occupancy"),
+	}
+	for _, m := range s.sms {
+		m.SetMetrics(met)
+	}
+	smSum := func(pick func(sm.Stats) int64) func() int64 {
+		return func() int64 {
+			var t int64
+			for _, m := range s.sms {
+				t += pick(m.Stats())
+			}
+			return t
+		}
+	}
+	s.reg.Gauge("sm.committed", smSum(func(st sm.Stats) int64 { return st.Committed }))
+	s.reg.Gauge("sm.faults", smSum(func(st sm.Stats) int64 { return st.Faults }))
+	s.reg.Gauge("sm.squashed", smSum(func(st sm.Stats) int64 { return st.Squashed }))
+	s.reg.Gauge("sm.replays", smSum(func(st sm.Stats) int64 { return st.Replays }))
+	s.reg.Gauge("sm.switches_out", smSum(func(st sm.Stats) int64 { return st.SwitchesOut }))
+	s.reg.Gauge("sm.context_bytes", smSum(func(st sm.Stats) int64 { return st.ContextBytes }))
+	for r := obs.StallReason(0); r < obs.NumStallReasons; r++ {
+		r := r
+		s.reg.Gauge("sm.stall."+r.String(),
+			smSum(func(st sm.Stats) int64 { return st.Stalls[r] }))
+	}
+}
+
+// AttachTracer binds tr to the simulator's clock and threads it through
+// every traced component: the SMs, the fault unit, the fill unit, the
+// CPU fault service and the GPU-local handler. A nil tracer is a no-op.
+// Call before Run; the tracer never schedules events, so an attached
+// tracer cannot change simulated cycle counts.
+func (s *Simulator) AttachTracer(tr *obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	s.tracer = tr
+	tr.Bind(len(s.sms), s.q.Now)
+	for _, m := range s.sms {
+		m.SetTracer(tr)
+	}
+	s.funit.SetTracer(tr)
+	s.fu.SetTracer(tr)
+	s.cpu.SetTracer(tr)
+	if s.local != nil {
+		s.local.SetTracer(tr)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (s *Simulator) Tracer() *obs.Tracer { return s.tracer }
 
 // contextMover adapts the DRAM model to sm.ContextMover.
 type contextMover struct{ d *dram.DRAM }
@@ -421,7 +504,9 @@ func (s *Simulator) collect() *Result {
 		st := m.Stats()
 		r.SMs = append(r.SMs, st)
 		r.Committed += st.Committed
+		r.Stalls.Add(st.Stalls)
 	}
+	r.Metrics = s.reg.Snapshot()
 	if len(s.sms) > 0 {
 		sum := 0
 		r.OccupancyMin = s.sms[0].Occupancy()

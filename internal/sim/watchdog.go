@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"gpues/internal/host"
+	"gpues/internal/obs"
 	"gpues/internal/sm"
 )
 
@@ -75,6 +76,9 @@ type StallReport struct {
 	L2TLBMSHRs    int
 	EventsPending int // events left in the clock queue
 	SMs           []sm.Snapshot
+	// Trace holds the newest tracer events at the time of the stall
+	// (empty when no tracer was attached) — the flight recorder.
+	Trace []obs.Event
 }
 
 // String renders the full multi-line report.
@@ -100,6 +104,12 @@ func (r StallReport) String() string {
 		}
 		fmt.Fprintf(&b, "\n%s", snap)
 	}
+	if len(r.Trace) > 0 {
+		fmt.Fprintf(&b, "\n  last %d trace events:", len(r.Trace))
+		for _, e := range r.Trace {
+			fmt.Fprintf(&b, "\n    %s", e)
+		}
+	}
 	return b.String()
 }
 
@@ -114,6 +124,10 @@ type StallError struct {
 func (e *StallError) Error() string {
 	return "sim: " + e.Report.String()
 }
+
+// stallTraceEvents is how many of the newest tracer events ride on a
+// stall report.
+const stallTraceEvents = 64
 
 // stallError captures the system state into a StallError.
 func (s *Simulator) stallError(reason string, violations []string) error {
@@ -135,6 +149,7 @@ func (s *Simulator) stallError(reason string, violations []string) error {
 	if reason == "watchdog" {
 		rep.Window = s.progressWindow
 	}
+	rep.Trace = s.tracer.LastN(stallTraceEvents)
 	for _, m := range s.sms {
 		st := m.Stats()
 		rep.Committed += st.Committed

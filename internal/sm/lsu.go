@@ -3,6 +3,7 @@ package sm
 import (
 	"gpues/internal/config"
 	"gpues/internal/isa"
+	"gpues/internal/obs"
 	"gpues/internal/tlb"
 	"gpues/internal/vm"
 )
@@ -96,10 +97,16 @@ func (s *SM) onTranslated(f *flight, r *memReq, res tlb.Result) {
 func (s *SM) lastTLBCheck(f *flight) {
 	w := f.w
 	s.event("lastcheck", w, f.tIdx)
+	if s.tr != nil {
+		var faulted uint64
+		if f.faulted {
+			faulted = 1
+		}
+		s.tr.Emit(s.ID, obs.KLastCheck, s.warpID(w), uint64(f.tIdx), faulted)
+	}
 	if !f.faulted {
 		if f.wdOwner && s.cfg.Scheme == config.WarpDisableLastCheck && w.fetchOwner == f {
-			w.fetchBlock = fetchOK
-			w.fetchOwner = nil
+			s.clearFetchBlock(w)
 		}
 		if s.cfg.Scheme == config.ReplayQueue {
 			w.releaseSources(f)
@@ -181,6 +188,7 @@ func (s *SM) squashAndRaise(f *flight) {
 	f.squashed = true
 	s.stats.Squashed++
 	s.event("squash", w, f.tIdx)
+	s.trace(obs.KSquash, w, f.tIdx)
 	w.releaseDest(f)
 	if s.cfg.Scheme == config.ReplayQueue && len(f.srcHeld) > 0 {
 		// Replay-queue: the faulted instruction's source holds survive
@@ -199,9 +207,9 @@ func (s *SM) squashAndRaise(f *flight) {
 	// replay reads its operands from the log (Figure 8b). They free at
 	// the replay's successful last TLB check.
 	w.insertReplay(f.tIdx)
+	s.met.ReplayOcc.Observe(int64(len(w.replay)))
 	if w.fetchOwner == f {
-		w.fetchBlock = fetchOK
-		w.fetchOwner = nil
+		s.clearFetchBlock(w)
 	}
 	// Revert the program counter to the oldest non-issued instruction:
 	// a younger instruction still in the fetch buffer is flushed so the
@@ -211,12 +219,12 @@ func (s *SM) squashAndRaise(f *flight) {
 	if buf := w.buf; buf != nil {
 		if buf.isReplay {
 			w.insertReplay(buf.tIdx)
+			s.met.ReplayOcc.Observe(int64(len(w.replay)))
 		} else if int(buf.tIdx) < w.cursor {
 			w.cursor = int(buf.tIdx)
 		}
 		if w.fetchOwner == buf {
-			w.fetchBlock = fetchOK
-			w.fetchOwner = nil
+			s.clearFetchBlock(w)
 		}
 		w.buf = nil
 		s.clrBuf(s.warpIndex(w))
@@ -237,15 +245,28 @@ func (s *SM) squashAndRaise(f *flight) {
 			}
 		}
 	}
+	if len(pages) > 0 && w.faultsOutstanding == 0 {
+		w.faultWaitStart = s.q.Now()
+	}
 	w.faultsOutstanding += len(pages)
 	b := w.block
 	b.pendingFaults += len(pages)
 	maxPos := 0
 	for _, page := range pages {
+		page := page
+		if s.tr != nil {
+			s.tr.Emit(s.ID, obs.KFaultRaised, s.warpID(w), page, uint64(kinds[page]))
+		}
 		pos := s.sink.RaiseFault(page, kinds[page], s.ID, func() {
 			s.wake()
 			w.faultsOutstanding--
 			b.pendingFaults--
+			if s.tr != nil {
+				s.tr.Emit(s.ID, obs.KFaultResolved, s.warpID(w), page, uint64(w.faultsOutstanding))
+			}
+			if w.faultsOutstanding == 0 {
+				s.stats.Stalls[obs.StallFaultWait] += s.q.Now() - w.faultWaitStart
+			}
 			s.onFaultResolved(w, b)
 		})
 		if pos > maxPos {

@@ -1,6 +1,9 @@
 package sm
 
-import "gpues/internal/config"
+import (
+	"gpues/internal/config"
+	"gpues/internal/obs"
+)
 
 // This file implements the per-SM local scheduler of use case 1
 // (Section 4.1, Figure 9): on a fault it may context switch the faulted
@@ -33,7 +36,11 @@ func (s *SM) maybeSwitchOut(b *blockRT, queuePos int) {
 		return
 	}
 	b.state = blockDraining
+	b.switchOutStart = s.q.Now()
 	s.stats.SwitchesOut++
+	if s.tr != nil {
+		s.tr.Emit(s.ID, obs.KSwitchOut, s.blockTID(b), uint64(b.id), uint64(queuePos))
+	}
 	s.afterDrainStep(b)
 }
 
@@ -102,8 +109,14 @@ func (s *SM) saveBlock(b *blockRT) {
 	b.state = blockSaving
 	bytes := s.contextSize(b)
 	s.stats.ContextBytes += int64(bytes)
+	if s.tr != nil {
+		s.tr.Emit(s.ID, obs.KSaveStart, s.blockTID(b), uint64(b.id), uint64(bytes))
+	}
 	s.move(bytes, func() {
 		s.wake()
+		if s.tr != nil {
+			s.tr.Emit(s.ID, obs.KSaveEnd, s.blockTID(b), uint64(b.id), 0)
+		}
 		slot := b.slot
 		b.state = blockOffChip
 		b.slot = -1
@@ -163,10 +176,17 @@ func (s *SM) restoreReadyBlock(slot int) bool {
 	}
 	bytes := s.contextSize(b)
 	s.stats.ContextBytes += int64(bytes)
+	if s.tr != nil {
+		s.tr.Emit(s.ID, obs.KRestoreStart, s.blockTID(b), uint64(b.id), uint64(bytes))
+	}
 	s.move(bytes, func() {
 		s.wake()
 		b.state = blockActive
 		s.stats.SwitchesIn++
+		s.stats.Stalls[obs.StallOffChip] += s.q.Now() - b.switchOutStart
+		if s.tr != nil {
+			s.tr.Emit(s.ID, obs.KRestoreEnd, s.blockTID(b), uint64(b.id), 0)
+		}
 	})
 	return true
 }

@@ -9,6 +9,7 @@ import (
 	"gpues/internal/emu"
 	"gpues/internal/isa"
 	"gpues/internal/kernel"
+	"gpues/internal/obs"
 	"gpues/internal/tlb"
 	"gpues/internal/vm"
 )
@@ -71,6 +72,12 @@ type Stats struct {
 	IssueStallLog   int64 // operand log full
 	IssueStallScore int64 // scoreboard hazard
 	IssueStallChaos int64 // injected back-pressure (chaos plans)
+	// Stalls is the full per-reason breakdown: issue-stage stall
+	// occurrences (scoreboard, port, log-full, chaos) and blocked-cycle
+	// intervals (fault-wait, barrier, fetch-control, fetch-warp-disable,
+	// off-chip). The IssueStall* fields above are retained views of
+	// three of its buckets.
+	Stalls obs.StallBreakdown
 }
 
 type blockState uint8
@@ -95,6 +102,9 @@ type blockRT struct {
 	logUsed       int // operand log entries in use
 	pendingFaults int // unresolved faults across its warps
 	contextBytes  int
+	// switchOutStart is the cycle the block began draining for a switch
+	// (off-chip stall attribution).
+	switchOutStart int64
 }
 
 // SM is one streaming multiprocessor.
@@ -144,11 +154,60 @@ type SM struct {
 	// kind is one of "fetch", "issue", "lastcheck", "commit", "squash";
 	// tIdx is the dynamic instruction's trace index within its warp.
 	OnEvent func(kind string, warp int, tIdx int32, cycle int64)
+
+	// tr, when attached, receives typed trace events (internal/obs); a
+	// nil tracer costs one branch per emission site.
+	tr *obs.Tracer
+	// met holds the shared aggregate instruments the simulator passes
+	// in; its pointers are nil-safe, so observations run unconditionally.
+	met Metrics
+}
+
+// Metrics are the aggregate instruments the simulator shares across its
+// SMs. The zero value records nothing.
+type Metrics struct {
+	// ReplayOcc samples the replay list length at each insertion
+	// (Section 3.2 replay queue occupancy).
+	ReplayOcc *obs.Histogram
+	// LogOcc samples a block's operand log occupancy at each
+	// allocation (Section 3.3).
+	LogOcc *obs.Histogram
 }
 
 func (s *SM) event(kind string, w *warpRT, tIdx int32) {
 	if s.OnEvent != nil {
 		s.OnEvent(kind, w.idx, tIdx, s.q.Now())
+	}
+}
+
+// SetTracer attaches the event tracer; nil removes it.
+func (s *SM) SetTracer(tr *obs.Tracer) { s.tr = tr }
+
+// SetMetrics installs the shared instruments.
+func (s *SM) SetMetrics(m Metrics) { s.met = m }
+
+// warpID is a warp's stable identity across context switches:
+// blockID*warpsPerBlock + warp index (the trace timeline key).
+func (s *SM) warpID(w *warpRT) int32 {
+	return int32(w.block.id*s.warpsPerBlock + w.idx)
+}
+
+// blockTID is the timeline key block-level events share with the
+// block's first warp.
+func (s *SM) blockTID(b *blockRT) int32 { return int32(b.id * s.warpsPerBlock) }
+
+// trace emits one pipeline-shaped event (A=trace index, B=block id).
+func (s *SM) trace(k obs.Kind, w *warpRT, tIdx int32) {
+	if s.tr != nil {
+		s.tr.Emit(s.ID, k, s.warpID(w), uint64(tIdx), uint64(w.block.id))
+	}
+}
+
+// stall counts one issue-stage stall occurrence and traces it.
+func (s *SM) stall(w *warpRT, f *flight, r obs.StallReason) {
+	s.stats.Stalls[r]++
+	if s.tr != nil {
+		s.tr.Emit(s.ID, obs.KStall, s.warpID(w), uint64(r), uint64(f.tIdx))
 	}
 }
 
@@ -383,15 +442,22 @@ func (s *SM) doFetch() bool {
 		if ti.Static.IsControl() {
 			w.fetchBlock = fetchControl
 			w.fetchOwner = f
+			w.fetchBlockStart = s.q.Now()
 		} else if ti.Static.IsGlobalMem() &&
 			(s.cfg.Scheme == config.WarpDisableCommit || s.cfg.Scheme == config.WarpDisableLastCheck) {
 			w.fetchBlock = fetchWarpDisable
 			w.fetchOwner = f
 			f.wdOwner = true
+			w.fetchBlockStart = s.q.Now()
 		}
 		s.lastFetch = pos
 		s.stats.Fetched++
 		s.event("fetch", w, idx)
+		if isReplay {
+			s.trace(obs.KReplayFetch, w, idx)
+		} else {
+			s.trace(obs.KFetch, w, idx)
+		}
 		budget--
 	}
 	return budget < fetchWidth
@@ -481,12 +547,14 @@ issueLoop:
 		f := w.buf
 		unit := f.ti.Static.ExecUnit()
 		if unitBudget[unit] <= 0 {
+			s.stall(w, f, obs.StallPort)
 			continue
 		}
 		if s.chaos != nil && f.global() && s.chaos.StallIssue(s.ID, f.isReplay) {
 			// The stall counts as activity so the SM retries next cycle
 			// instead of sleeping for an event that may never come.
 			s.stats.IssueStallChaos++
+			s.stall(w, f, obs.StallChaos)
 			issuedAny = true
 			continue
 		}
@@ -498,10 +566,12 @@ issueLoop:
 			checkSources := s.cfg.Scheme != config.ReplayQueue && s.cfg.Scheme != config.OperandLog
 			if !w.canIssueReplay(f, heldOwn, checkSources) {
 				s.stats.IssueStallScore++
+				s.stall(w, f, obs.StallScoreboard)
 				continue
 			}
 		} else if !w.canIssue(f) {
 			s.stats.IssueStallScore++
+			s.stall(w, f, obs.StallScoreboard)
 			continue
 		}
 		// Operand log capacity: loads/atomics hold one entry, stores
@@ -515,9 +585,11 @@ issueLoop:
 			if !f.isReplay {
 				if w.block.logUsed+logNeed > s.logPerBlock {
 					s.stats.IssueStallLog++
+					s.stall(w, f, obs.StallLogFull)
 					continue
 				}
 				w.block.logUsed += logNeed
+				s.met.LogOcc.Observe(int64(w.block.logUsed))
 			}
 			f.logHeld = logNeed
 		}
@@ -546,6 +618,7 @@ issueLoop:
 		s.clrBuf(pos)
 		s.stats.Issued++
 		s.event("issue", w, f.tIdx)
+		s.trace(obs.KIssue, w, f.tIdx)
 		s.q.After(1, f.opReadFn)
 		budget--
 		unitBudget[unit]--
@@ -599,18 +672,40 @@ func (s *SM) arriveBarrier(f *flight) {
 	b := w.block
 	w.atBarrier = true
 	w.barFlight = f
+	w.barStart = s.q.Now()
 	b.barrierCount++
 	if b.barrierCount >= b.liveWarps {
-		b.barrierCount = 0
-		for _, bw := range b.warps {
-			if bw.atBarrier {
-				bw.atBarrier = false
-				bf := bw.barFlight
-				bw.barFlight = nil
-				s.q.After(1, bf.commitFn)
-			}
+		s.releaseBarrier(b)
+	}
+}
+
+// releaseBarrier frees every warp parked at the block's barrier,
+// attributing the waited cycles, and commits their barrier
+// instructions together.
+func (s *SM) releaseBarrier(b *blockRT) {
+	b.barrierCount = 0
+	for _, bw := range b.warps {
+		if bw.atBarrier {
+			bw.atBarrier = false
+			s.stats.Stalls[obs.StallBarrier] += s.q.Now() - bw.barStart
+			bf := bw.barFlight
+			bw.barFlight = nil
+			s.q.After(1, bf.commitFn)
 		}
 	}
+}
+
+// clearFetchBlock re-enables a warp's fetch, attributing the blocked
+// interval to the control-flow or warp-disable stall bucket.
+func (s *SM) clearFetchBlock(w *warpRT) {
+	switch w.fetchBlock {
+	case fetchControl:
+		s.stats.Stalls[obs.StallFetchCtl] += s.q.Now() - w.fetchBlockStart
+	case fetchWarpDisable:
+		s.stats.Stalls[obs.StallFetchWD] += s.q.Now() - w.fetchBlockStart
+	}
+	w.fetchBlock = fetchOK
+	w.fetchOwner = nil
 }
 
 // commit retires an instruction: scoreboard release, fetch unblocking,
@@ -622,6 +717,11 @@ func (s *SM) commit(f *flight) {
 	f.committed = true
 	w := f.w
 	s.event("commit", w, f.tIdx)
+	if f.isReplay {
+		s.trace(obs.KReplayCommit, w, f.tIdx)
+	} else {
+		s.trace(obs.KCommit, w, f.tIdx)
+	}
 	w.releaseDest(f)
 	// Replay-queue holds sources until last TLB check; a non-memory
 	// path never reaches here with holds, but guard for squash races.
@@ -632,8 +732,7 @@ func (s *SM) commit(f *flight) {
 		s.stats.GlobalMemInsts++
 	}
 	if w.fetchOwner == f {
-		w.fetchBlock = fetchOK
-		w.fetchOwner = nil
+		s.clearFetchBlock(w)
 	}
 	s.afterDrainStep(w.block)
 	s.checkWarpDone(w)
@@ -651,15 +750,7 @@ func (s *SM) checkWarpDone(w *warpRT) {
 	b.liveWarps--
 	// A warp that exits while others wait at a barrier can release it.
 	if b.liveWarps > 0 && b.barrierCount >= b.liveWarps {
-		b.barrierCount = 0
-		for _, bw := range b.warps {
-			if bw.atBarrier {
-				bw.atBarrier = false
-				bf := bw.barFlight
-				bw.barFlight = nil
-				s.q.After(1, bf.commitFn)
-			}
-		}
+		s.releaseBarrier(b)
 	}
 	if b.liveWarps == 0 {
 		s.blockFinished(b)

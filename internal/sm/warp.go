@@ -70,6 +70,12 @@ type warpRT struct {
 	faultsOutstanding int
 	done              bool
 
+	// Stall-attribution interval starts (cycle stamps): when the warp
+	// last entered fault wait / parked at a barrier / had fetch blocked.
+	faultWaitStart  int64
+	barStart        int64
+	fetchBlockStart int64
+
 	// heldSrcs keeps, per squashed instruction (by trace index), the
 	// source registers whose pendRead holds survive the fault under the
 	// replay-queue scheme: the scheme releases global-memory sources

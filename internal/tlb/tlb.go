@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"gpues/internal/clock"
+	"gpues/internal/obs"
 	"gpues/internal/vm"
 )
 
@@ -156,6 +157,15 @@ func New(cfg Config, pageSize int, q *clock.Queue, next Level) (*TLB, error) {
 
 // Stats returns a copy of the counters.
 func (t *TLB) Stats() Stats { return t.stats }
+
+// RegisterMetrics exposes the TLB's counters as gauges.
+func (t *TLB) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".hits", func() int64 { return t.stats.Hits })
+	reg.Gauge(prefix+".misses", func() int64 { return t.stats.Misses })
+	reg.Gauge(prefix+".merges", func() int64 { return t.stats.Merges })
+	reg.Gauge(prefix+".rejects", func() int64 { return t.stats.Rejects })
+	reg.Gauge(prefix+".faults", func() int64 { return t.stats.Faults })
+}
 
 // InFlight returns the number of outstanding misses.
 func (t *TLB) InFlight() int { return len(t.mshrs) }
@@ -315,6 +325,7 @@ type FillUnit struct {
 	queue       []walkReq
 	classify    func(pageVA uint64) Result
 	injector    WalkInjector
+	tr          *obs.Tracer
 
 	// Walks and FaultsDetected count completed walks and those that
 	// ended in a fault; FaultsInjected counts the detected faults that
@@ -358,6 +369,16 @@ func (f *FillUnit) Queued() int { return len(f.queue) }
 // SetInjector installs the chaos hook; nil removes it.
 func (f *FillUnit) SetInjector(i WalkInjector) { f.injector = i }
 
+// SetTracer installs the event tracer; nil disables tracing.
+func (f *FillUnit) SetTracer(tr *obs.Tracer) { f.tr = tr }
+
+// RegisterMetrics exposes the fill unit's counters as gauges.
+func (f *FillUnit) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.Gauge(prefix+".walks", func() int64 { return f.Walks })
+	reg.Gauge(prefix+".faults_detected", func() int64 { return f.FaultsDetected })
+	reg.Gauge(prefix+".faults_injected", func() int64 { return f.FaultsInjected })
+}
+
 // CheckInvariants validates the fill unit's structural state.
 func (f *FillUnit) CheckInvariants() []string {
 	if f.busy < 0 || f.busy > f.walkers {
@@ -378,6 +399,9 @@ func (f *FillUnit) startWalk(pageVA uint64, done func(Result)) {
 		}
 		if !r.Present {
 			f.FaultsDetected++
+			if f.tr != nil {
+				f.tr.Emit(-1, obs.KWalkFault, -1, pageVA, uint64(r.Fault))
+			}
 		}
 		if len(f.queue) > 0 {
 			next := f.queue[0]
