@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strconv"
 	"strings"
 )
@@ -56,12 +57,25 @@ func parseLine(rep *Report, line string) {
 		return
 	}
 	b := Benchmark{Name: f[0], N: n, Metrics: map[string]float64{}}
-	for i := 2; i+1 < len(f); i += 2 {
+	for i := 2; i+1 < len(f); {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
-			return
+			// Not a value where one was expected (an optional metric —
+			// fault-lat-* under schemes that took no faults — left a unit
+			// without a value). Resync one token ahead instead of
+			// discarding the metrics that did parse.
+			i++
+			continue
 		}
-		b.Metrics[f[i+1]] = v
+		// Non-finite values (a rate whose denominator was zero) would
+		// make the report unmarshalable as JSON; drop the pair only.
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			b.Metrics[f[i+1]] = v
+		}
+		i += 2
+	}
+	if len(b.Metrics) == 0 {
+		return
 	}
 	rep.Benchmarks = append(rep.Benchmarks, b)
 }

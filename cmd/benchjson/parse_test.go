@@ -52,11 +52,47 @@ func TestParse(t *testing.T) {
 }
 
 func TestParseIgnoresMalformed(t *testing.T) {
-	rep, err := Parse(strings.NewReader("BenchmarkBad x 1 ns/op\nBenchmarkShort 1\n"))
+	rep, err := Parse(strings.NewReader("BenchmarkBad x 1 ns/op\nBenchmarkShort 1\nBenchmarkNoMetrics 1 foo bar\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Benchmarks) != 0 {
 		t.Fatalf("malformed lines parsed: %+v", rep.Benchmarks)
+	}
+}
+
+// TestParseToleratesMissingMetrics covers lines where an optional
+// metric (fault-lat-* under a scheme that took no faults) is absent or
+// left its unit without a value: the metrics that did parse must
+// survive instead of the whole line being dropped.
+func TestParseToleratesMissingMetrics(t *testing.T) {
+	const input = "BenchmarkFig10/baseline 1 579904096 ns/op 117137 sim-cycles fault-lat-mean 239999 fault-lat-p99\n" +
+		"BenchmarkFig10/nofault 1 1000 ns/op NaN fault-lat-mean +Inf fault-lat-p99 42 sim-cycles\n"
+	rep, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	b := rep.Benchmarks[0]
+	if b.Metrics["ns/op"] != 579904096 || b.Metrics["sim-cycles"] != 117137 {
+		t.Fatalf("parsed metrics lost: %v", b.Metrics)
+	}
+	if b.Metrics["fault-lat-p99"] != 239999 {
+		t.Fatalf("resync after valueless unit failed: %v", b.Metrics)
+	}
+	if _, ok := b.Metrics["fault-lat-mean"]; ok {
+		t.Fatalf("valueless unit should be absent: %v", b.Metrics)
+	}
+	nf := rep.Benchmarks[1]
+	if _, ok := nf.Metrics["fault-lat-mean"]; ok {
+		t.Fatalf("NaN metric kept: %v", nf.Metrics)
+	}
+	if _, ok := nf.Metrics["fault-lat-p99"]; ok {
+		t.Fatalf("Inf metric kept: %v", nf.Metrics)
+	}
+	if nf.Metrics["ns/op"] != 1000 || nf.Metrics["sim-cycles"] != 42 {
+		t.Fatalf("finite metrics lost: %v", nf.Metrics)
 	}
 }

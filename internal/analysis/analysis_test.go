@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseReleases(t *testing.T) {
+	if s, err := ParseReleases("recv"); err != nil || s.Arg != -1 {
+		t.Errorf("recv: got %+v, %v", s, err)
+	}
+	if s, err := ParseReleases("2"); err != nil || s.Arg != 2 {
+		t.Errorf("2: got %+v, %v", s, err)
+	}
+	for _, bad := range []string{"", "-1", "x", "0 extra"} {
+		if _, err := ParseReleases(bad); err == nil {
+			t.Errorf("ParseReleases(%q): expected error", bad)
+		}
+	}
+}
+
+func TestSuppressions(t *testing.T) {
+	const src = `package p
+
+func f() {
+	_ = 1 //simlint:ignore detX because reasons
+	_ = 2
+	//simlint:ignore detY missing analyzer line applies below
+	_ = 3
+	//simlint:ignore detZ
+	_ = 4
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := BuildSuppressions(fset, []*ast.File{f})
+	at := func(name string, line int) bool {
+		return s[suppressionKey{"p.go", line, name}]
+	}
+	if !at("detX", 4) || !at("detX", 5) {
+		t.Error("end-of-line directive should cover its line and the next")
+	}
+	if !at("detY", 7) {
+		t.Error("line-above directive should cover the following line")
+	}
+	if at("detZ", 8) || at("detZ", 9) {
+		t.Error("reasonless directive must suppress nothing")
+	}
+}

@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"gpues/internal/analysis/analysistest"
+	"gpues/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata/src/det",
+		"gpues/internal/analysis/determinism/testdata/src/det")
+}

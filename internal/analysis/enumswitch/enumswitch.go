@@ -1,0 +1,144 @@
+// Package enumswitch checks exhaustiveness of switches over the
+// simulator's enum types (obs.Kind, obs.StallReason, fault-lifecycle
+// states, ISA opcodes, …). An enum is any defined integer or string
+// type with at least two package-level constants of that exact type;
+// sentinel members (NumX, xCount, …) are not required.
+//
+// Only switches WITHOUT a default clause are checked: a default arm is
+// an explicit statement that unlisted members are handled (typically a
+// panic, which fails loudly instead of silently falling through).
+// Adding a new event kind or stall reason therefore either hits a
+// default the author wrote on purpose, or trips this analyzer.
+package enumswitch
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"gpues/internal/analysis"
+)
+
+// Analyzer is the enum-exhaustiveness check.
+var Analyzer = &analysis.Analyzer{
+	Name: "enumswitch",
+	Doc:  "flag non-exhaustive switches (without default) over simulator enum types",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if sw, ok := n.(*ast.SwitchStmt); ok {
+				check(pass, sw)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return
+	}
+	members := enumMembers(named)
+	if len(members) < 2 {
+		return // not an enum-style type
+	}
+
+	covered := map[string]bool{} // by exact constant value representation
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			return // default clause present: author handles the rest
+		}
+		for _, e := range cc.List {
+			if etv, ok := pass.TypesInfo.Types[e]; ok && etv.Value != nil {
+				covered[etv.Value.ExactString()] = true
+			} else {
+				return // non-constant case: coverage unknowable
+			}
+		}
+	}
+
+	var missing []string
+	seen := map[string]bool{}
+	for _, m := range members {
+		key := m.Val().ExactString()
+		if covered[key] || seen[key] {
+			continue
+		}
+		seen[key] = true
+		missing = append(missing, m.Name())
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	typeName := named.Obj().Name()
+	if p := named.Obj().Pkg(); p != nil && p != pass.Pkg {
+		typeName = p.Name() + "." + typeName
+	}
+	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive and has no default: missing %s — a newly added member would silently fall through",
+		typeName, strings.Join(missing, ", "))
+}
+
+// enumMembers collects the package-level constants of exactly the
+// given named type, excluding the count sentinel closing the iota
+// block: the highest-valued member whose name says it is a counter
+// (NumKinds, NumStallReasons, SRNumSReg, opCount, …).
+func enumMembers(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil // built-in type
+	}
+	scope := pkg.Scope()
+	var out []*types.Const
+	var maxVal constant.Value
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		out = append(out, c)
+		if maxVal == nil || constant.Compare(c.Val(), token.GTR, maxVal) {
+			maxVal = c.Val()
+		}
+	}
+	kept := out[:0]
+	for _, c := range out {
+		if sentinelName(c.Name()) && constant.Compare(c.Val(), token.EQL, maxVal) {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// sentinelName recognises the member-count idiom by name; the value
+// check in enumMembers (must be the maximum) keeps real members whose
+// names merely resemble a counter.
+func sentinelName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "num") ||
+		strings.HasSuffix(name, "Count") ||
+		strings.Contains(name, "Sentinel") ||
+		strings.HasPrefix(lower, "max") ||
+		strings.HasSuffix(name, "Invalid")
+}

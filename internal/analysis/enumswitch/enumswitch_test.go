@@ -1,0 +1,13 @@
+package enumswitch_test
+
+import (
+	"testing"
+
+	"gpues/internal/analysis/analysistest"
+	"gpues/internal/analysis/enumswitch"
+)
+
+func TestEnumswitch(t *testing.T) {
+	analysistest.Run(t, enumswitch.Analyzer, "testdata/src/enums",
+		"gpues/internal/analysis/enumswitch/testdata/src/enums")
+}

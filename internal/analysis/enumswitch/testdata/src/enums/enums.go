@@ -1,0 +1,97 @@
+// Package enums is the enumswitch analyzer's golden corpus.
+package enums
+
+// Color is an int-backed enum with a count sentinel.
+type Color uint8
+
+const (
+	Red Color = iota
+	Green
+	Blue
+	NumColors // sentinel: highest value + counter name, not required
+)
+
+// Mode is a string-backed enum.
+type Mode string
+
+const (
+	ModeFast Mode = "fast"
+	ModeSlow Mode = "slow"
+)
+
+// Stat has a member that merely resembles a sentinel: MaxSeen is not
+// the highest value, so it stays required.
+type Stat uint8
+
+const (
+	MaxSeen Stat = iota
+	Other
+	StatCount // the real sentinel
+)
+
+// --- flagged constructs ------------------------------------------------
+
+func colorName(c Color) string {
+	switch c { // want "switch over Color is not exhaustive and has no default: missing Blue"
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return "?"
+}
+
+func modeCost(m Mode) int {
+	switch m { // want "missing ModeSlow"
+	case ModeFast:
+		return 1
+	}
+	return 0
+}
+
+func statName(s Stat) string {
+	switch s { // want "missing MaxSeen"
+	case Other:
+		return "other"
+	}
+	return ""
+}
+
+// --- clean patterns (no diagnostics allowed) ---------------------------
+
+func exhaustive(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	case Blue:
+		return "blue"
+	}
+	return "?"
+}
+
+func withDefault(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+func nonConstantCase(c, x Color) int {
+	switch c {
+	case x:
+		return 1
+	}
+	return 0
+}
+
+func notAnEnum(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,13 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"gpues/internal/analysis/analysistest"
+	"gpues/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, "testdata/src/na",
+		"gpues/internal/analysis/noalloc/testdata/src/na")
+}

@@ -1,0 +1,84 @@
+// Package na is the noalloc analyzer's golden corpus.
+package na
+
+import "fmt"
+
+type buf struct {
+	data []int
+	s    string
+}
+
+func (b *buf) id() int       { return len(b.data) }
+func (b *buf) fill(n int)    { b.data = append(b.data, n) }
+func run(fn func())          { fn() }
+func sink(any)               {}
+func sinkInt(int)            {}
+
+// --- flagged constructs ------------------------------------------------
+
+//simlint:noalloc
+func allocators(b *buf, n int, s string) {
+	b.data = make([]int, n) // want "make allocates"
+	p := new(buf)           // want "new allocates"
+	_ = p
+	x := []int{1, 2, 3} // want "slice literal allocates"
+	_ = x
+	m := map[string]int{} // want "map literal allocates"
+	_ = m
+	q := &buf{} // want "&composite literal escapes"
+	_ = q
+	b.s = s + "!" // want "non-constant string concatenation allocates"
+	bs := []byte(s) // want "string/slice conversion copies"
+	_ = bs
+}
+
+//simlint:noalloc
+func closures(b *buf) {
+	f := func() {} // want "closure \\(func literal\\) allocates"
+	run(f)
+	go b.fill(1) // want "go statement allocates"
+	g := b.id    // want "method value b.id allocates a bound-method closure"
+	_ = g
+}
+
+//simlint:noalloc
+func boxing(n int) any {
+	sink(n)          // want "value of type int boxed into .* allocates"
+	fmt.Sprint("x")  // want "fmt.Sprint allocates" "value of type string boxed into .* allocates"
+	var v any = 3.14 // want "value of type float64 boxed into .* allocates"
+	_ = v
+	return n // want "value of type int boxed into .* allocates"
+}
+
+// --- clean patterns (no diagnostics allowed) ---------------------------
+
+//simlint:noalloc
+func clean(b *buf, n int) int {
+	if len(b.data) == 0 {
+		return 0
+	}
+	b.data = b.data[:0]
+	b.data = append(b.data, n) // plain append: in-capacity appends are free
+	var total int
+	for _, v := range b.data {
+		total += v
+	}
+	b.fill(total) // callees are checked via their own annotations
+	sinkInt(total)
+	sink(b)   // pointers store in the interface word without boxing
+	sink(nil) // nil never boxes
+	return total
+}
+
+//simlint:noalloc
+func growPath(b *buf, n int) {
+	if cap(b.data) < n {
+		//simlint:ignore noalloc amortised grow path, runs once per high-water mark
+		b.data = make([]int, n)
+	}
+	b.data = b.data[:n]
+}
+
+func unannotated() []int {
+	return []int{1} // unchecked: no //simlint:noalloc annotation
+}

@@ -1,0 +1,13 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"gpues/internal/analysis/analysistest"
+	"gpues/internal/analysis/poolsafe"
+)
+
+func TestPoolsafe(t *testing.T) {
+	analysistest.Run(t, poolsafe.Analyzer, "testdata/src/pool",
+		"gpues/internal/analysis/poolsafe/testdata/src/pool")
+}

@@ -1,0 +1,76 @@
+// Package pool is the poolsafe analyzer's golden corpus.
+package pool
+
+import "sync"
+
+type node struct {
+	id   int
+	next *node
+}
+
+type freeList struct{ head *node }
+
+// put returns nd to the free list.
+//
+//simlint:releases 0
+func (q *freeList) put(nd *node) {
+	nd.next = q.head
+	q.head = nd
+}
+
+// release returns the receiver to its pool.
+//
+//simlint:releases recv
+func (nd *node) release() {}
+
+var bufPool sync.Pool
+
+// --- flagged constructs ------------------------------------------------
+
+func useAfterPut(q *freeList, nd *node) int {
+	q.put(nd)
+	return nd.id // want "use of nd after it was released"
+}
+
+func walkFreed(q *freeList, nd *node) {
+	q.put(nd)
+	nd = nd.next // want "use of nd after it was released"
+	_ = nd
+}
+
+func useAfterRecvRelease(nd *node) {
+	nd.release()
+	nd.id = 0 // want "use of nd after it was released"
+}
+
+func useAfterSyncPoolPut(nd *node) {
+	bufPool.Put(nd)
+	nd.id++ // want "use of nd after it was released"
+}
+
+// --- clean patterns (no diagnostics allowed) ---------------------------
+
+func copyBeforePut(q *freeList, nd *node) int {
+	id := nd.id
+	q.put(nd)
+	return id
+}
+
+func reacquired(q *freeList, nd *node) *node {
+	q.put(nd)
+	nd = &node{}
+	return nd
+}
+
+func conditionalPut(q *freeList, nd *node, done bool) int {
+	if done {
+		q.put(nd)
+		return 0
+	}
+	return nd.id
+}
+
+func deferredPut(q *freeList, nd *node) int {
+	defer q.put(nd)
+	return nd.id
+}

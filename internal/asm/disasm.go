@@ -180,6 +180,8 @@ func formatInst(in isa.Instruction, labels map[int32]string) string {
 			s += ", " + regName(in.SrcC)
 		}
 		return s
+	default:
+		// Everything else prints from the mnemonic table below.
 	}
 
 	if m, ok := opMnemonics[in.Op]; ok {

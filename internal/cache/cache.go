@@ -6,6 +6,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"gpues/internal/clock"
 	"gpues/internal/obs"
@@ -160,8 +161,15 @@ func (c *Cache) CheckInvariants(now, maxAge int64) []string {
 			c.cfg.Name, len(c.mshrs), c.cfg.MSHRs))
 	}
 	if maxAge > 0 {
-		for addr, m := range c.mshrs {
-			if age := now - m.born; age > maxAge {
+		// Sorted addresses keep the violation report deterministic run
+		// to run (map iteration order is randomised).
+		addrs := make([]uint64, 0, len(c.mshrs))
+		for addr := range c.mshrs {
+			addrs = append(addrs, addr)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, addr := range addrs {
+			if age := now - c.mshrs[addr].born; age > maxAge {
 				v = append(v, fmt.Sprintf("%s: miss on line %#x outstanding for %d cycles (leak?)",
 					c.cfg.Name, addr, age))
 			}
@@ -301,6 +309,14 @@ func (c *Cache) fill(m *mshr) {
 		w()
 	}
 	c.release()
+	c.putMSHR(m)
+}
+
+// putMSHR returns a retired MSHR to the free list. Callers must drop
+// every reference first: the next allocMSHR may hand it out again.
+//
+//simlint:releases 0
+func (c *Cache) putMSHR(m *mshr) {
 	m.waiters = m.waiters[:0]
 	m.next = c.pool
 	c.pool = m

@@ -85,9 +85,14 @@ func (q *Queue) Now() int64 { return q.now }
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return q.n }
 
+// alloc takes a node from the free list; the grow path is the only
+// allocation, paid once per high-water mark of pending events.
+//
+//simlint:noalloc
 func (q *Queue) alloc() *node {
 	nd := q.free
 	if nd == nil {
+		//simlint:ignore noalloc grow path, runs once per high-water mark of pending events
 		return &node{}
 	}
 	q.free = nd.next
@@ -95,6 +100,11 @@ func (q *Queue) alloc() *node {
 	return nd
 }
 
+// recycle returns a drained node to the free list. Callers must drop
+// every reference to nd first: the next alloc may hand it out again.
+//
+//simlint:releases 0
+//simlint:noalloc
 func (q *Queue) recycle(nd *node) {
 	nd.fn = nil
 	nd.next = q.free
@@ -115,6 +125,8 @@ func (q *Queue) clrOcc(b int) {
 }
 
 // push appends nd to its ring bucket (FIFO tail).
+//
+//simlint:noalloc
 func (q *Queue) push(nd *node) {
 	b := int(nd.cycle) & bucketMask
 	bl := &q.buckets[b]
@@ -130,6 +142,8 @@ func (q *Queue) push(nd *node) {
 // At schedules fn to run at the given absolute cycle. Events scheduled
 // in the past run at the current cycle's drain. Same-cycle events run in
 // scheduling order.
+//
+//simlint:noalloc
 func (q *Queue) At(cycle int64, fn func()) {
 	if cycle < q.now {
 		cycle = q.now
@@ -146,6 +160,8 @@ func (q *Queue) At(cycle int64, fn func()) {
 }
 
 // After schedules fn to run delay cycles from now.
+//
+//simlint:noalloc
 func (q *Queue) After(delay int64, fn func()) { q.At(q.now+delay, fn) }
 
 // migrate moves overflow events that entered the horizon into the ring.
@@ -153,6 +169,8 @@ func (q *Queue) After(delay int64, fn func()) { q.At(q.now+delay, fn) }
 // the ring-insertion condition in At, so a bucket never receives a
 // direct insert while an earlier-scheduled same-cycle event still waits
 // in the overflow heap — which is what keeps same-cycle FIFO exact.
+//
+//simlint:noalloc
 func (q *Queue) migrate() {
 	for len(q.overflow) > 0 && q.overflow[0].cycle-q.now < numBuckets {
 		q.push(q.overflowPop())
@@ -163,6 +181,8 @@ func (q *Queue) migrate() {
 // cycle being left (the current slot can only hold cycle == now events)
 // are stashed on the overdue list, and overflow events that entered the
 // horizon migrate into the ring.
+//
+//simlint:noalloc
 func (q *Queue) advance(to int64) {
 	b := int(q.now) & bucketMask
 	if bl := &q.buckets[b]; bl.head != nil {
@@ -183,6 +203,8 @@ func (q *Queue) advance(to int64) {
 
 // RunDue runs every event scheduled at or before the current cycle,
 // including events those events schedule for the current cycle.
+//
+//simlint:noalloc
 func (q *Queue) RunDue() {
 	for q.overdue.head != nil {
 		nd := q.overdue.head
@@ -212,6 +234,8 @@ func (q *Queue) RunDue() {
 }
 
 // Step advances the clock by one cycle and runs due events.
+//
+//simlint:noalloc
 func (q *Queue) Step() {
 	q.advance(q.now + 1)
 	q.RunDue()

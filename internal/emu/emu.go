@@ -600,6 +600,8 @@ func (e *Emulator) execMem(w *warpCtx, in *isa.Instruction, mask uint32, blockID
 			})
 			e.writeReg(w, lane, in.Dst, old)
 		}
+	default:
+		return fmt.Errorf("execMem: %v is not a memory op", in.Op)
 	}
 	if mask != 0 {
 		ti.Lines = e.coalesceArena(&addrs, mask, size)

@@ -178,6 +178,7 @@ func (m *Memory) Clone() *Memory {
 	for key, data := range m.chunks {
 		dup := make([]byte, chunkSize)
 		copy(dup, data)
+		//simlint:ignore determinism copying entries into a freshly made map is order-insensitive
 		c.chunks[key] = dup
 	}
 	return c

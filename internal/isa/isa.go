@@ -218,6 +218,8 @@ func (u Unit) String() string {
 		return "ldst"
 	case UnitBranch:
 		return "branch"
+	case UnitNone:
+		return "none"
 	}
 	return "none"
 }
@@ -275,8 +277,9 @@ func (in Instruction) IsMem() bool {
 	switch in.Op {
 	case OpLdGlobal, OpStGlobal, OpAtomGlobal, OpLdShared, OpStShared:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // IsControl reports whether fetching the instruction suspends further
@@ -285,8 +288,9 @@ func (in Instruction) IsControl() bool {
 	switch in.Op {
 	case OpBra, OpBar, OpExit:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // Writes reports whether the instruction writes Dst.
@@ -362,6 +366,8 @@ func (in Instruction) String() string {
 		s += "." + in.Cmp.String()
 	case OpAtomGlobal:
 		s += "." + in.Atom.String()
+	default:
+		// Every other opcode prints without a modifier suffix.
 	}
 	switch in.Op {
 	case OpNop, OpBar, OpExit:

@@ -201,25 +201,38 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	// Sorted names keep the reads deterministic: gauge callbacks run in
+	// a fixed order, so a callback with side effects (or one that reads
+	// state another callback touches) cannot vary between runs.
 	if len(r.counters) > 0 {
 		s.Counters = make(map[string]int64, len(r.counters))
-		for n, c := range r.counters {
-			s.Counters[n] = c.Value()
+		for _, n := range sortedNames(r.counters) {
+			s.Counters[n] = r.counters[n].Value()
 		}
 	}
 	if len(r.gauges) > 0 {
 		s.Gauges = make(map[string]int64, len(r.gauges))
-		for n, fn := range r.gauges {
-			s.Gauges[n] = fn()
+		for _, n := range sortedNames(r.gauges) {
+			s.Gauges[n] = r.gauges[n]()
 		}
 	}
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
-		for n, h := range r.hists {
-			s.Histograms[n] = h.Snapshot()
+		for _, n := range sortedNames(r.hists) {
+			s.Histograms[n] = r.hists[n].Snapshot()
 		}
 	}
 	return s
+}
+
+// sortedNames returns the map's keys in sorted order.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // WriteJSON writes the snapshot as indented JSON. encoding/json sorts

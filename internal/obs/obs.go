@@ -239,6 +239,8 @@ func (t *Tracer) Bind(numSMs int, now func() int64) {
 
 // Enabled reports whether the kind passes the tracer's filter; a nil
 // tracer reports false. Components use it to skip payload computation.
+//
+//simlint:noalloc
 func (t *Tracer) Enabled(k Kind) bool {
 	return t != nil && t.filter&(1<<k) != 0
 }
@@ -246,6 +248,8 @@ func (t *Tracer) Enabled(k Kind) bool {
 // Emit records one event. It is nil-receiver safe, filters by kind, and
 // never allocates: the event overwrites the oldest slot of the target
 // ring when full. sm is -1 for system components.
+//
+//simlint:noalloc
 func (t *Tracer) Emit(sm int, k Kind, warp int32, a, b uint64) {
 	if t == nil || t.filter&(1<<k) == 0 {
 		return

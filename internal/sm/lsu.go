@@ -53,6 +53,8 @@ func (s *SM) startMem(f *flight) {
 
 // translate runs the L1 TLB lookup for one request, retrying while the
 // TLB's miss resources are full.
+//
+//simlint:noalloc
 func (s *SM) translate(f *flight, r *memReq) {
 	if f.squashed {
 		// The instruction was squashed after a fault; drop the request.
@@ -65,6 +67,7 @@ func (s *SM) translate(f *flight, r *memReq) {
 	}
 }
 
+//simlint:noalloc
 func (s *SM) onTranslated(f *flight, r *memReq, res tlb.Result) {
 	if f.squashed {
 		return
@@ -94,6 +97,8 @@ func (s *SM) onTranslated(f *flight, r *memReq, res tlb.Result) {
 // scheme releases the deferred source operands, and the operand log
 // frees the instruction's entries. With faults, the scheme-specific
 // fault path runs.
+//
+//simlint:noalloc
 func (s *SM) lastTLBCheck(f *flight) {
 	w := f.w
 	s.event("lastcheck", w, f.tIdx)
@@ -128,6 +133,8 @@ func (s *SM) lastTLBCheck(f *flight) {
 // access sends a translated request into the cache hierarchy, retrying
 // while the L1 MSHRs are full. Loads wait for data; stores and atomics
 // are write accesses (write-through at L1).
+//
+//simlint:noalloc
 func (s *SM) access(f *flight, r *memReq) {
 	if f.squashed {
 		return
@@ -140,6 +147,8 @@ func (s *SM) access(f *flight, r *memReq) {
 }
 
 // accessDone is the cache-hierarchy completion for one request.
+//
+//simlint:noalloc
 func (s *SM) accessDone(f *flight, r *memReq) {
 	s.wake()
 	if f.squashed || r.state == reqDone {

@@ -358,6 +358,8 @@ func (s *SM) newFlight(w *warpRT, ti *emu.TraceInst, tIdx int32, isReplay bool) 
 // Squashed flights are never recycled — stale TLB fill and cache
 // callbacks may still hold them, relying on the squashed flag staying
 // set.
+//
+//simlint:releases 0
 func (s *SM) freeFlight(f *flight) {
 	if f.squashed {
 		return
@@ -703,6 +705,8 @@ func (s *SM) clearFetchBlock(w *warpRT) {
 		s.stats.Stalls[obs.StallFetchCtl] += s.q.Now() - w.fetchBlockStart
 	case fetchWarpDisable:
 		s.stats.Stalls[obs.StallFetchWD] += s.q.Now() - w.fetchBlockStart
+	case fetchOK:
+		// Nothing was blocked; no stall interval to attribute.
 	}
 	w.fetchBlock = fetchOK
 	w.fetchOwner = nil

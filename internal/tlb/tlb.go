@@ -7,6 +7,7 @@ package tlb
 
 import (
 	"fmt"
+	"sort"
 
 	"gpues/internal/clock"
 	"gpues/internal/obs"
@@ -269,6 +270,14 @@ func (t *TLB) fill(m *tlbMSHR, r Result) {
 		w(r)
 	}
 	t.release()
+	t.putMSHR(m)
+}
+
+// putMSHR returns a retired miss tracker to the free list. Callers must
+// drop every reference first: the next allocMSHR may hand it out again.
+//
+//simlint:releases 0
+func (t *TLB) putMSHR(m *tlbMSHR) {
 	m.waiters = m.waiters[:0]
 	m.next = t.pool
 	t.pool = m
@@ -285,8 +294,15 @@ func (t *TLB) CheckInvariants(now, maxAge int64) []string {
 			t.cfg.Name, len(t.mshrs), t.cfg.MSHRs))
 	}
 	if maxAge > 0 {
-		for vpn, m := range t.mshrs {
-			if age := now - m.born; age > maxAge {
+		// Sorted VPNs keep the violation report deterministic run to
+		// run (map iteration order is randomised).
+		vpns := make([]uint64, 0, len(t.mshrs))
+		for vpn := range t.mshrs {
+			vpns = append(vpns, vpn)
+		}
+		sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+		for _, vpn := range vpns {
+			if age := now - t.mshrs[vpn].born; age > maxAge {
 				v = append(v, fmt.Sprintf("%s: miss on vpn %#x outstanding for %d cycles (leak?)",
 					t.cfg.Name, vpn, age))
 			}
