@@ -22,18 +22,29 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated: table1, fig10, fig11, table2, fig12, fig13, fig14, scalability, ablations, chaos, all (chaos is not part of all)")
-		scale    = flag.Int("scale", 0, "dataset scale (0 = per-figure default: 1 for fig10/11/14, 2 for fig12/13)")
-		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: the figure's full suite)")
-		progress = flag.Bool("progress", false, "print one line per completed simulation")
-		par      = flag.Int("j", 0, "parallel simulations (0 = GOMAXPROCS)")
-		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		traceDir = flag.String("trace-dir", "", "write one Chrome trace JSON per simulation into this directory")
-		traceFlt = flag.String("trace-filter", "", "comma-separated event kinds or groups to trace (with -trace-dir); empty records everything")
+		run       = flag.String("run", "all", "comma-separated: table1, fig10, fig11, table2, fig12, fig13, fig14, scalability, ablations, chaos, all (chaos is not part of all)")
+		scale     = flag.Int("scale", 0, "dataset scale (0 = per-figure default: 1 for fig10/11/14, 2 for fig12/13)")
+		benches   = flag.String("bench", "", "comma-separated benchmark subset (default: the figure's full suite)")
+		progress  = flag.Bool("progress", false, "print one line per completed simulation")
+		par       = flag.Int("j", 0, "parallel simulations (0 = GOMAXPROCS)")
+		asJSON    = flag.Bool("json", false, "emit results as JSON instead of tables")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceDir  = flag.String("trace-dir", "", "write one Chrome trace JSON per simulation into this directory")
+		traceFlt  = flag.String("trace-filter", "", "comma-separated event kinds or groups to trace (with -trace-dir); empty records everything")
+		resumeDir = flag.String("resume-dir", "", "record finished runs and checkpoint in-flight ones into this directory; re-invoking with the same options resumes a killed campaign")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "in-flight checkpoint period in cycles (with -resume-dir; 0 = default)")
 	)
 	flag.Parse()
+
+	// Validate flag values before any simulation work: a bad filter must
+	// fail fast, not hours into a campaign.
+	if *traceFlt != "" {
+		if _, err := gpues.ParseTraceFilter(*traceFlt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	stopProf, err := prof.StartCPU(*cpuProf)
 	if err != nil {
@@ -42,7 +53,8 @@ func main() {
 	}
 
 	opt := gpues.ExperimentOptions{Scale: *scale, Parallelism: *par,
-		TraceDir: *traceDir, TraceFilter: *traceFlt}
+		TraceDir: *traceDir, TraceFilter: *traceFlt,
+		ResumeDir: *resumeDir, CheckpointEvery: *ckptEvery}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"gpues"
@@ -43,8 +45,32 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (.bin for the compact binary format); view in Perfetto")
 		traceFlt  = flag.String("trace-filter", "", "comma-separated event kinds or groups to record (all, pipeline, stall, fault, replay, switch, migrate, local); empty records everything")
 		metricsFn = flag.String("metrics", "", "write the metrics registry snapshot to this file (.csv for CSV, otherwise JSON)")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "write a checkpoint into -checkpoint-dir every N cycles (0 = off)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for periodic and stall checkpoints")
+		resume    = flag.String("resume", "", "resume from a checkpoint file, or from the latest checkpoint in a directory")
+		digestAt  = flag.Int64("digest-at", 0, "run to this cycle (-1 = completion), print per-component state digests as JSON, and exit (the simbisect probe)")
+		perturbFl = flag.String("perturb", "", "comma-separated cycle:component artificial state divergences (for exercising simbisect; see docs/checkpointing.md)")
 	)
 	flag.Parse()
+	digestMode := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "digest-at" {
+			digestMode = true
+		}
+	})
+
+	// Validate flag values up front, before any simulation work: a bad
+	// value must fail fast with a clear message, not be silently ignored.
+	if *chaosLvl < 0 || *chaosLvl > 3 {
+		fmt.Fprintf(os.Stderr, "-chaos-level %d out of range [0,3]\n", *chaosLvl)
+		os.Exit(2)
+	}
+	if *traceFlt != "" {
+		if _, err := gpues.ParseTraceFilter(*traceFlt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	if *list {
 		for _, suite := range []string{"parboil", "halloc", "sdk"} {
@@ -113,6 +139,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	if digestMode {
+		if err := runDigestProbe(cfg, spec, *digestAt, *chaosLvl, *chaosSeed, *perturbFl); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	// Tracing: build the tracer up front; writeTrace runs on every exit
 	// path (the trace of a failed run is the most valuable one).
 	var tracer *gpues.Tracer
@@ -141,12 +175,21 @@ func main() {
 	}
 	var res *gpues.Result
 	if *chaosLvl > 0 {
+		if *perturbFl != "" {
+			fmt.Fprintln(os.Stderr, "-perturb needs -digest-at or a chaos-free run")
+			os.Exit(2)
+		}
 		plan, err := gpues.ChaosPlanForLevel(*chaosLvl, *chaosSeed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		cr, err := gpues.RunChaosTraced(cfg, spec, plan, tracer)
+		cr, err := gpues.RunChaosOpts(cfg, spec, plan, gpues.ChaosRunOptions{
+			Tracer:          tracer,
+			CheckpointEvery: *ckptEvery,
+			CheckpointDir:   *ckptDir,
+			Resume:          *resume,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			writeTrace()
@@ -172,6 +215,24 @@ func main() {
 			os.Exit(1)
 		}
 		s.AttachTracer(tracer)
+		s.CheckpointEvery = *ckptEvery
+		s.CheckpointDir = *ckptDir
+		if err := applyPerturbs(s, *perturbFl); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *resume != "" {
+			path, err := gpues.ResolveCheckpoint(*resume)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := s.RestoreFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("resumed       from %s (cycle %d)\n", path, s.Cycle())
+		}
 		res, err = s.Run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -252,6 +313,62 @@ func main() {
 				s.Faults, s.SwitchesOut, s.SwitchesIn)
 		}
 	}
+}
+
+// applyPerturbs parses a comma-separated cycle:component list and
+// registers each as an artificial state divergence.
+func applyPerturbs(s *gpues.Simulator, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		cycleStr, comp, ok := strings.Cut(item, ":")
+		if !ok {
+			return fmt.Errorf("-perturb %q is not cycle:component", item)
+		}
+		cycle, err := strconv.ParseInt(cycleStr, 10, 64)
+		if err != nil || cycle < 0 {
+			return fmt.Errorf("-perturb cycle %q must be a non-negative integer", cycleStr)
+		}
+		if err := s.InjectDivergence(cycle, comp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runDigestProbe runs the configured launch to the requested cycle and
+// prints the per-component state digests as one JSON object — the
+// probe protocol simbisect's -exec-a/-exec-b mode speaks.
+func runDigestProbe(cfg gpues.Config, spec gpues.LaunchSpec, at int64, chaosLvl int, chaosSeed int64, perturbs string) error {
+	s, err := gpues.NewSimulator(cfg, spec)
+	if err != nil {
+		return err
+	}
+	if chaosLvl > 0 {
+		plan, err := gpues.ChaosPlanForLevel(chaosLvl, chaosSeed)
+		if err != nil {
+			return err
+		}
+		s.AttachChaos(plan)
+	}
+	if err := applyPerturbs(s, perturbs); err != nil {
+		return err
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+	reached, err := s.StepTo(at)
+	if err != nil {
+		return err
+	}
+	probe := struct {
+		At      int64                   `json:"at"`
+		Cycle   int64                   `json:"cycle"`
+		Done    bool                    `json:"done"`
+		Digests []gpues.ComponentDigest `json:"digests"`
+	}{At: at, Cycle: s.Cycle(), Done: !reached, Digests: s.ComponentDigests()}
+	return json.NewEncoder(os.Stdout).Encode(probe)
 }
 
 // writeTraceFile exports the tracer: Chrome trace_event JSON, or the

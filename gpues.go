@@ -26,6 +26,7 @@ package gpues
 import (
 	"gpues/internal/cacti"
 	"gpues/internal/chaos"
+	"gpues/internal/ckpt"
 	"gpues/internal/config"
 	"gpues/internal/emu"
 	"gpues/internal/experiments"
@@ -140,6 +141,32 @@ func RunChaos(cfg Config, spec LaunchSpec, plan *ChaosPlan) (*ChaosResult, error
 func RunChaosTraced(cfg Config, spec LaunchSpec, plan *ChaosPlan, tr *Tracer) (*ChaosResult, error) {
 	return sim.RunChaosTraced(cfg, spec, plan, tr)
 }
+
+// Checkpoint/restore ------------------------------------------------------
+
+// ChaosRunOptions carries the optional knobs of a chaos run: tracer,
+// periodic checkpointing, and resume.
+type ChaosRunOptions = sim.ChaosRunOptions
+
+// DivergenceError reports that a restore's deterministic replay did
+// not reproduce the checkpointed state of one component (recover it
+// with errors.As).
+type DivergenceError = sim.DivergenceError
+
+// RunChaosOpts is RunChaosTraced plus checkpoint/resume knobs.
+func RunChaosOpts(cfg Config, spec LaunchSpec, plan *ChaosPlan, opt ChaosRunOptions) (*ChaosResult, error) {
+	return sim.RunChaosOpts(cfg, spec, plan, opt)
+}
+
+// ResolveCheckpoint turns a resume argument — a checkpoint file, or a
+// directory whose latest valid checkpoint is used — into a file path.
+func ResolveCheckpoint(pathOrDir string) (string, error) {
+	return sim.ResolveCheckpoint(pathOrDir)
+}
+
+// ComponentDigest names one component's state digest at a cycle
+// boundary (Simulator.ComponentDigests, the bisection probe).
+type ComponentDigest = ckpt.SectionDigest
 
 // Observability ----------------------------------------------------------
 

@@ -41,6 +41,8 @@ var corePackages = []string{
 	"internal/vm",
 	"internal/emu",
 	"internal/obs",
+	"internal/ckpt",
+	"internal/bisect",
 }
 
 func inScope(pass *analysis.Pass) bool {

@@ -1,0 +1,195 @@
+package bisect
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpues/internal/config"
+	"gpues/internal/emu"
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+	"gpues/internal/sim"
+	"gpues/internal/vm"
+)
+
+// testSpec builds a small vecadd launch. Each call builds a fresh
+// functional memory, so every probe's simulator starts from the same
+// initial image.
+func testSpec(t *testing.T, blocks, threads int) sim.LaunchSpec {
+	t.Helper()
+	n := blocks * threads
+	const (
+		aAddr = uint64(0x1000000)
+		bAddr = uint64(0x2000000)
+		oAddr = uint64(0x3000000)
+	)
+	mem := emu.NewMemory()
+	for i := 0; i < n; i++ {
+		mem.WriteF64(aAddr+uint64(i*8), float64(i))
+		mem.WriteF64(bAddr+uint64(i*8), float64(i)*2)
+	}
+
+	b := kernel.NewBuilder("vecadd")
+	pa := b.AddParam(aAddr)
+	pb := b.AddParam(bAddr)
+	po := b.AddParam(oAddr)
+	tid, ctaid, ntid := b.Reg(), b.Reg(), b.Reg()
+	gid, off, base, va, vb := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.S2R(tid, isa.SRTidX)
+	b.S2R(ctaid, isa.SRCtaIDX)
+	b.S2R(ntid, isa.SRNTidX)
+	b.IMad(gid, ctaid, ntid, tid)
+	b.Shl(off, gid, 3)
+	b.LoadParam(base, pa)
+	b.IAdd(base, base, off, 0)
+	b.LdGlobal(va, base, 0, 8)
+	b.LoadParam(base, pb)
+	b.IAdd(base, base, off, 0)
+	b.LdGlobal(vb, base, 0, 8)
+	b.FAdd(va, va, vb)
+	b.LoadParam(base, po)
+	b.IAdd(base, base, off, 0)
+	b.StGlobal(base, 0, va, 8)
+	b.Exit()
+	k := b.MustBuild()
+
+	size := uint64(n * 8)
+	if size < 4096 {
+		size = 4096
+	}
+	return sim.LaunchSpec{
+		Launch: &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: blocks}, Block: kernel.Dim3{X: threads}},
+		Memory: mem,
+		Regions: []vm.Region{
+			{Name: "a", Base: aAddr, Size: size, Kind: vm.RegionGPUInit},
+			{Name: "b", Base: bAddr, Size: size, Kind: vm.RegionGPUInit},
+			{Name: "out", Base: oAddr, Size: size, Kind: vm.RegionGPUInit},
+		},
+	}
+}
+
+// builder returns a SimRunner Build function; inject != nil perturbs
+// that component's digest at the given cycle.
+func builder(t *testing.T, injectCycle int64, injectComp string) func() (*sim.Simulator, error) {
+	cfg := config.Default()
+	return func() (*sim.Simulator, error) {
+		s, err := sim.New(cfg, testSpec(t, 16, 128))
+		if err != nil {
+			return nil, err
+		}
+		if injectComp != "" {
+			if err := s.InjectDivergence(injectCycle, injectComp); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+}
+
+func TestBisectPinpointsSeededDivergence(t *testing.T) {
+	a := SimRunner{Build: builder(t, 0, "")}
+	b := SimRunner{Build: builder(t, 50, "cache.l2")}
+
+	rep, err := FirstDivergence(a, b, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Diverged {
+		t.Fatal("seeded divergence not detected")
+	}
+	if rep.Component != "cache.l2" {
+		t.Errorf("component = %q, want cache.l2", rep.Component)
+	}
+	if rep.FirstCycle != 50 {
+		t.Errorf("first divergence at cycle %d, want 50", rep.FirstCycle)
+	}
+	t.Logf("report: %s", rep)
+}
+
+func TestBisectNoDivergence(t *testing.T) {
+	a := SimRunner{Build: builder(t, 0, "")}
+	b := SimRunner{Build: builder(t, 0, "")}
+
+	rep, err := FirstDivergence(a, b, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diverged {
+		t.Fatalf("identical runs reported divergent: %s", rep)
+	}
+	if !rep.A.Done || !rep.B.Done {
+		t.Error("completion probes must report Done")
+	}
+}
+
+func TestBisectRejectsDivergentLowerBound(t *testing.T) {
+	a := SimRunner{Build: builder(t, 0, "")}
+	b := SimRunner{Build: builder(t, 5, "dram")}
+	if _, err := FirstDivergence(a, b, 100, -1); err == nil {
+		t.Fatal("lower bound past the divergence must be rejected")
+	}
+}
+
+func TestNearestShared(t *testing.T) {
+	dirA := t.TempDir()
+	dirB := t.TempDir()
+
+	// Run A checkpoints every 200 cycles clean; run B does the same but
+	// diverges at cycle 500, so the checkpoints at 200 and 400 agree and
+	// later ones do not.
+	runTo := func(build func() (*sim.Simulator, error), dir string) {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.CheckpointEvery = 200
+		s.CheckpointDir = dir
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runTo(builder(t, 0, ""), dirA)
+	runTo(builder(t, 500, "dram"), dirB)
+
+	cycle, err := NearestShared(dirA, dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycle != 400 {
+		t.Errorf("nearest shared checkpoint at cycle %d, want 400", cycle)
+	}
+
+	// And the shared cycle is a valid bisection lower bound.
+	rep, err := FirstDivergence(
+		SimRunner{Build: builder(t, 0, "")},
+		SimRunner{Build: builder(t, 500, "dram")},
+		cycle, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 500 can fall in a quiet stretch the event queue skips, so
+	// the first *observable* boundary is the first loop-top cycle at or
+	// after it.
+	if !rep.Diverged || rep.Component != "dram" || rep.FirstCycle < 500 {
+		t.Errorf("report = %s, want dram at >= 500", rep)
+	}
+}
+
+func TestDigestsByCycleSkipsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeGarbage(filepath.Join(dir, "ckpt-000000000001.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := digestsByCycle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 0 {
+		t.Errorf("garbage checkpoint contributed digests: %v", m)
+	}
+}
+
+func writeGarbage(path string) error {
+	return os.WriteFile(path, []byte("not a checkpoint"), 0o644)
+}

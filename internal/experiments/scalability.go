@@ -47,7 +47,7 @@ func SchemeScalability(opt Options) (*Result, error) {
 	}
 	// All rows run the same benchmark; runJob.bench doubles as the row
 	// label, so resolve the real benchmark in a custom runner.
-	cycles, err := runAllNamed(opt, bench, jobs)
+	cycles, err := runAllNamed(opt, "scal-schemes", bench, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +94,7 @@ func LocalHandlingScalability(opt Options) (*Result, error) {
 		gpu.Local.Enabled = true
 		jobs = append(jobs, runJob{bench: fmt.Sprintf("%d-SMs", sms), col: "gpu-local", cfg: gpu, place: workloads.LazyOutput()})
 	}
-	cycles, err := runAllNamed(opt, bench, jobs)
+	cycles, err := runAllNamed(opt, "scal-local", bench, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -119,11 +119,11 @@ func LocalHandlingScalability(opt Options) (*Result, error) {
 
 // runAllNamed is runAll for jobs whose bench field is a row label
 // rather than a workload name: every job runs `bench`.
-func runAllNamed(opt Options, bench string, jobs []runJob) (map[string]map[string]int64, error) {
+func runAllNamed(opt Options, fig, bench string, jobs []runJob) (map[string]map[string]int64, error) {
 	for i := range jobs {
 		jobs[i].realBench = bench
 	}
-	return runAll(opt, jobs)
+	return runAll(opt, fig, jobs)
 }
 
 // Ablations runs the design-parameter sweeps: each Result isolates one
@@ -252,7 +252,7 @@ func sweep(opt Options, id, title, metric, bench string, place workloads.Placeme
 		baseMut(&cfg)
 		jobs = append(jobs, runJob{bench: "base", realBench: bench, col: "run", cfg: cfg, place: place})
 	}
-	cycles, err := runAll(opt, jobs)
+	cycles, err := runAll(opt, id, jobs)
 	if err != nil {
 		return nil, err
 	}

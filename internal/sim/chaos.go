@@ -110,6 +110,24 @@ const chaosTraceFilter = "fault,switch,migrate,local"
 // the recent fault-lifecycle history; pass a tracer built from
 // obs.Options to keep it for export.
 func RunChaosTraced(cfg config.Config, spec LaunchSpec, plan *chaos.Plan, tr *obs.Tracer) (*ChaosResult, error) {
+	return RunChaosOpts(cfg, spec, plan, ChaosRunOptions{Tracer: tr})
+}
+
+// ChaosRunOptions carries the optional knobs of a chaos run.
+type ChaosRunOptions struct {
+	// Tracer to attach; nil attaches the default flight recorder.
+	Tracer *obs.Tracer
+	// CheckpointEvery/CheckpointDir enable periodic checkpoints.
+	CheckpointEvery int64
+	CheckpointDir   string
+	// Resume is a checkpoint file (or a directory, whose latest valid
+	// checkpoint is used) to restore before running. The plan must be
+	// built from the same config and seed as the checkpointing run.
+	Resume string
+}
+
+// RunChaosOpts is RunChaosTraced plus checkpoint/resume knobs.
+func RunChaosOpts(cfg config.Config, spec LaunchSpec, plan *chaos.Plan, opt ChaosRunOptions) (*ChaosResult, error) {
 	initial := spec.Memory
 	if initial == nil {
 		return nil, fmt.Errorf("sim: launch spec needs memory")
@@ -121,6 +139,7 @@ func RunChaosTraced(cfg config.Config, spec LaunchSpec, plan *chaos.Plan, tr *ob
 		return nil, err
 	}
 	s.AttachChaos(plan)
+	tr := opt.Tracer
 	if tr == nil {
 		mask, ferr := obs.ParseFilter(chaosTraceFilter)
 		if ferr != nil {
@@ -129,6 +148,17 @@ func RunChaosTraced(cfg config.Config, spec LaunchSpec, plan *chaos.Plan, tr *ob
 		tr = obs.New(obs.Options{Filter: mask, RingSize: chaosRingSize})
 	}
 	s.AttachTracer(tr)
+	s.CheckpointEvery = opt.CheckpointEvery
+	s.CheckpointDir = opt.CheckpointDir
+	if opt.Resume != "" {
+		path, rerr := ResolveCheckpoint(opt.Resume)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if rerr := s.RestoreFile(path); rerr != nil {
+			return nil, rerr
+		}
+	}
 	r, err := s.Run()
 	cr := &ChaosResult{
 		Result:      r,

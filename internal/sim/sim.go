@@ -11,6 +11,7 @@ import (
 
 	"gpues/internal/cache"
 	"gpues/internal/chaos"
+	"gpues/internal/ckpt"
 	"gpues/internal/clock"
 	"gpues/internal/config"
 	"gpues/internal/core"
@@ -81,19 +82,21 @@ type Simulator struct {
 	cfg  config.Config
 	spec LaunchSpec
 
-	q     *clock.Queue
-	as    *vm.AddressSpace
-	emul  *emu.Emulator
-	disp  *host.Dispatcher
-	fu    *tlb.FillUnit
-	l2tlb *tlb.TLB
-	l2    *cache.Cache
-	mem   *dram.DRAM
-	link  *interconnect.Link
-	cpu   *host.FaultService
-	funit *core.FaultUnit
-	local *core.LocalHandler
-	sms   []*sm.SM
+	q      *clock.Queue
+	as     *vm.AddressSpace
+	emul   *emu.Emulator
+	disp   *host.Dispatcher
+	fu     *tlb.FillUnit
+	l2tlb  *tlb.TLB
+	l2     *cache.Cache
+	mem    *dram.DRAM
+	link   *interconnect.Link
+	cpu    *host.FaultService
+	funit  *core.FaultUnit
+	local  *core.LocalHandler
+	sms    []*sm.SM
+	l1s    []*cache.Cache
+	l1tlbs []*tlb.TLB
 
 	// MaxCycles aborts runaway simulations (hard bound; the progress
 	// watchdog normally fires far earlier).
@@ -118,6 +121,38 @@ type Simulator struct {
 	// tracer (nil unless AttachTracer was called).
 	reg    *obs.Registry
 	tracer *obs.Tracer
+
+	// CheckpointEvery, when positive with CheckpointDir set, writes a
+	// checkpoint into CheckpointDir every that-many cycles (at the next
+	// cycle boundary the main loop reaches). Checkpoint writing never
+	// schedules events, so a checkpointed run is bit-identical to an
+	// uncheckpointed one.
+	CheckpointEvery int64
+	// CheckpointDir is where periodic and stall checkpoints land.
+	CheckpointDir string
+
+	// started marks that Start has seeded the launch; lastNow and wd
+	// carry the main loop's progress tracking across StepTo calls.
+	started bool
+	lastNow int64
+	wd      *watchdog
+	// nextCkpt is the cycle at or after which the next periodic
+	// checkpoint is due; replaying suppresses checkpoint writes while
+	// RestoreFrom replays up to the checkpoint cycle.
+	nextCkpt  int64
+	replaying bool
+
+	// cfgFP and specFP fingerprint the configuration and launch spec; a
+	// checkpoint only restores onto a simulator with matching prints.
+	cfgFP  uint64
+	specFP uint64
+
+	// nonces are per-component divergence counters folded into each
+	// component's checkpoint section; InjectDivergence bumps one at a
+	// chosen cycle (via perturbs) to seed an artificial state
+	// divergence for bisection tests without touching timing.
+	nonces   map[string]uint64
+	perturbs map[int64][]string
 }
 
 // DefaultMaxCycles bounds a single kernel simulation.
@@ -263,6 +298,8 @@ func New(cfg config.Config, spec LaunchSpec) (*Simulator, error) {
 			return nil, err
 		}
 		s.sms[i] = sm.New(i, &s.cfg, s.q, l1, l1tlb, s.funit, s.disp, contextMover{s.mem})
+		s.l1s = append(s.l1s, l1)
+		s.l1tlbs = append(s.l1tlbs, l1tlb)
 	}
 	s.active = make([]uint64, (len(s.sms)+63)/64)
 	for i := range s.sms {
@@ -270,6 +307,9 @@ func New(cfg config.Config, spec LaunchSpec) (*Simulator, error) {
 		s.sms[i].SetWakeHook(func() { s.active[w] |= 1 << bit })
 	}
 	s.registerMetrics()
+	s.nonces = make(map[string]uint64)
+	s.cfgFP = ckpt.Digest([]byte(fmt.Sprintf("%#v", cfg)))
+	s.specFP = s.fingerprintSpec()
 	return s, nil
 }
 
@@ -352,8 +392,13 @@ func (m contextMover) Move(bytes int, done func()) { m.d.Transfer(bytes, done) }
 // AddressSpace exposes the simulator's VM state (for tests and tools).
 func (s *Simulator) AddressSpace() *vm.AddressSpace { return s.as }
 
-// Run simulates the launch to completion and returns the result.
-func (s *Simulator) Run() (*Result, error) {
+// Start seeds the launch: blocks are filled onto the SMs and the
+// active set and progress tracking are initialized. Idempotent; Run
+// calls it automatically, RestoreFrom calls it before replaying.
+func (s *Simulator) Start() error {
+	if s.started {
+		return nil
+	}
 	for _, m := range s.sms {
 		m.PrepareLaunch(s.spec.Launch)
 	}
@@ -361,7 +406,7 @@ func (s *Simulator) Run() (*Result, error) {
 		m.FillBlocks()
 	}
 	if err := s.disp.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	// Seed the active set: wake hooks only fire on the idle→awake
 	// transition, which the initial block fill never takes.
@@ -373,33 +418,53 @@ func (s *Simulator) Run() (*Result, error) {
 			s.active[i>>6] |= 1 << (uint(i) & 63)
 		}
 	}
-
-	var wd *watchdog
 	if s.progressWindow > 0 {
-		wd = &watchdog{window: s.progressWindow, lastSig: -1}
+		s.wd = &watchdog{window: s.progressWindow, lastSig: -1}
 	}
-	lastNow := int64(-1)
+	s.lastNow = -1
+	if s.CheckpointEvery > 0 {
+		s.nextCkpt = s.CheckpointEvery
+	}
+	s.started = true
+	return nil
+}
 
+// StepTo advances the simulation until the clock reaches cycle stop or
+// the launch finishes, whichever comes first (stop < 0 means run to
+// completion). It returns true when it stopped at a cycle boundary
+// with now >= stop while work remains. The stop check sits at the top
+// of the loop, before any per-cycle bookkeeping mutates state: a
+// checkpoint written at cycle C captures exactly the state a fresh
+// simulator reaches via StepTo(C) — the foundation of restore
+// verification and divergence bisection.
+func (s *Simulator) StepTo(stop int64) (bool, error) {
 	for !s.finished() {
 		now := s.q.Now()
+		s.applyPerturbs(now)
+		if stop >= 0 && now >= stop {
+			return true, nil
+		}
+		if err := s.maybeWriteCheckpoint(now); err != nil {
+			return false, err
+		}
 		if err := s.firstError(); err != nil {
-			return nil, err
+			return false, err
 		}
-		if now < lastNow {
-			return nil, s.stallError("invariant",
-				[]string{fmt.Sprintf("clock moved backwards: %d after %d", now, lastNow)})
+		if now < s.lastNow {
+			return false, s.stallError("invariant",
+				[]string{fmt.Sprintf("clock moved backwards: %d after %d", now, s.lastNow)})
 		}
-		lastNow = now
+		s.lastNow = now
 		if now > s.MaxCycles {
-			return nil, s.stallError("max-cycles", nil)
+			return false, s.stallError("max-cycles", nil)
 		}
-		if wd != nil && wd.observe(now, s.progressSignature()) {
-			return nil, s.stallError("watchdog", nil)
+		if s.wd != nil && s.wd.observe(now, s.progressSignature()) {
+			return false, s.stallError("watchdog", nil)
 		}
 		if s.sweepEvery > 0 && now >= s.nextSweep {
 			s.nextSweep = now + s.sweepEvery
 			if v := s.CheckInvariants(); len(v) > 0 {
-				return nil, s.stallError("invariant", v)
+				return false, s.stallError("invariant", v)
 			}
 		}
 		// Tick the active set in SM index order. The bitset may
@@ -424,7 +489,7 @@ func (s *Simulator) Run() (*Result, error) {
 			}
 		}
 		if err := s.firstError(); err != nil {
-			return nil, err
+			return false, err
 		}
 		if s.finished() {
 			break
@@ -434,10 +499,21 @@ func (s *Simulator) Run() (*Result, error) {
 		} else {
 			next, ok := s.q.NextEvent()
 			if !ok {
-				return nil, s.stallError("deadlock", nil)
+				return false, s.stallError("deadlock", nil)
 			}
 			s.q.SkipTo(next)
 		}
+	}
+	return false, nil
+}
+
+// Run simulates the launch to completion and returns the result.
+func (s *Simulator) Run() (*Result, error) {
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	if _, err := s.StepTo(-1); err != nil {
+		return nil, err
 	}
 	if err := s.firstError(); err != nil {
 		return nil, err
@@ -451,6 +527,16 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 	return s.collect(), nil
 }
+
+// Cycle returns the current simulated cycle.
+func (s *Simulator) Cycle() int64 { return s.q.Now() }
+
+// Finished reports whether the launch has run to completion.
+func (s *Simulator) Finished() bool { return s.finished() }
+
+// Collect builds the result summary for the current state. Run calls
+// it on completion; bisection probes call it after a partial StepTo.
+func (s *Simulator) Collect() *Result { return s.collect() }
 
 func (s *Simulator) finished() bool {
 	if !s.disp.AllDone() {

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"gpues/internal/host"
@@ -63,6 +65,9 @@ type StallReport struct {
 	Window int64
 	// Violations lists invariant violations (invariant reason).
 	Violations []string
+	// Checkpoint is the path of the automatic stall checkpoint (empty
+	// when checkpointing is off or the stall state is not resumable).
+	Checkpoint string
 
 	Committed     int64
 	BlocksIssued  int
@@ -98,6 +103,9 @@ func (r StallReport) String() string {
 	fmt.Fprintf(&b, "\n  translation: %d walkers busy, %d walks queued, L2TLB MSHRs=%d, L2 MSHRs=%d",
 		r.FillBusy, r.FillQueued, r.L2TLBMSHRs, r.L2MSHRs)
 	fmt.Fprintf(&b, "\n  clock: %d events pending", r.EventsPending)
+	if r.Checkpoint != "" {
+		fmt.Fprintf(&b, "\n  checkpoint: %s", r.Checkpoint)
+	}
 	for _, snap := range r.SMs {
 		if snap.Assigned == 0 {
 			continue // an SM with no work cannot be the culprit
@@ -154,6 +162,18 @@ func (s *Simulator) stallError(reason string, violations []string) error {
 		st := m.Stats()
 		rep.Committed += st.Committed
 		rep.SMs = append(rep.SMs, m.Snapshot())
+	}
+	// Write an automatic checkpoint so the stall state can be reloaded
+	// for bisection or inspection. Only loop-top reasons qualify: a
+	// deadlock is raised after the cycle's ticks, where the state no
+	// longer matches what a replay to this cycle would reach.
+	if s.CheckpointDir != "" && !s.replaying && reason != "deadlock" && !s.finished() {
+		if err := os.MkdirAll(s.CheckpointDir, 0o755); err == nil {
+			path := filepath.Join(s.CheckpointDir, fmt.Sprintf("stall-%012d.ckpt", rep.Cycle))
+			if err := s.Capture().WriteFile(path); err == nil {
+				rep.Checkpoint = path
+			}
+		}
 	}
 	return &StallError{Report: rep}
 }

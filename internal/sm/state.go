@@ -1,0 +1,277 @@
+package sm
+
+import (
+	"fmt"
+	"sort"
+
+	"gpues/internal/ckpt"
+)
+
+// SaveState serializes the SM: statistics and scheduler scalars
+// (installable), the buffered-instruction mask, and a full structural
+// record of every resident and switched-out block — per-warp cursors,
+// replay queues, scoreboards and stall stamps. In-flight instructions
+// live as pooled flights referenced by scheduled closures, so flights
+// themselves are represented only by the per-warp counts and flags
+// that name them; replay rebuilds the objects.
+func (s *SM) SaveState(w *ckpt.Writer) {
+	w.I64(s.stats.Cycles)
+	w.I64(s.stats.ActiveCycles)
+	w.I64(s.stats.Committed)
+	w.I64(s.stats.Issued)
+	w.I64(s.stats.Fetched)
+	w.I64(s.stats.GlobalMemInsts)
+	w.I64(s.stats.MemRequests)
+	w.I64(s.stats.Faults)
+	w.I64(s.stats.Squashed)
+	w.I64(s.stats.Replays)
+	w.I64(s.stats.BlocksRun)
+	w.I64(s.stats.SwitchesOut)
+	w.I64(s.stats.SwitchesIn)
+	w.I64(s.stats.ContextBytes)
+	w.I64(s.stats.IssueStallLog)
+	w.I64(s.stats.IssueStallScore)
+	w.I64(s.stats.IssueStallChaos)
+	for _, v := range s.stats.Stalls {
+		w.I64(v)
+	}
+
+	w.Int(s.lastFetch)
+	w.Int(s.lastIssue)
+	w.Bool(s.idle)
+	w.Int(s.assigned)
+	w.Int(len(s.bufMask))
+	for _, m := range s.bufMask {
+		w.U64(m)
+	}
+
+	w.Int(len(s.slots))
+	for _, b := range s.slots {
+		if b == nil {
+			w.Bool(false)
+			continue
+		}
+		w.Bool(true)
+		saveBlock(w, b)
+	}
+	w.Int(len(s.offchip))
+	for _, b := range s.offchip {
+		saveBlock(w, b)
+	}
+}
+
+func saveBlock(w *ckpt.Writer, b *blockRT) {
+	w.Int(b.id)
+	w.Int(b.slot)
+	w.U64(uint64(b.state))
+	w.Int(b.liveWarps)
+	w.Int(b.barrierCount)
+	w.Int(b.logUsed)
+	w.Int(b.pendingFaults)
+	w.Int(b.contextBytes)
+	w.I64(b.switchOutStart)
+	w.Int(len(b.warps))
+	for _, wr := range b.warps {
+		saveWarp(w, wr)
+	}
+}
+
+func saveWarp(w *ckpt.Writer, wr *warpRT) {
+	w.Int(wr.idx)
+	w.Int(wr.cursor)
+	w.Int(len(wr.replay))
+	for _, t := range wr.replay {
+		w.U64(uint64(t))
+	}
+	w.Bool(wr.buf != nil)
+	if wr.buf != nil {
+		w.U64(uint64(wr.buf.tIdx))
+	}
+	w.I64(wr.bufReady)
+	w.U64(uint64(wr.fetchBlock))
+	w.Bool(wr.fetchOwner != nil)
+	for _, p := range wr.pendWrite {
+		w.U64(p)
+	}
+	w.Bytes(wr.pendRead[:])
+	w.Int(wr.inFlight)
+	w.Bool(wr.atBarrier)
+	w.Bool(wr.barFlight != nil)
+	w.Int(wr.faultsOutstanding)
+	w.Bool(wr.done)
+	w.I64(wr.faultWaitStart)
+	w.I64(wr.barStart)
+	w.I64(wr.fetchBlockStart)
+
+	tIdxs := make([]int32, 0, len(wr.heldSrcs))
+	for t := range wr.heldSrcs {
+		tIdxs = append(tIdxs, t)
+	}
+	sort.Slice(tIdxs, func(i, j int) bool { return tIdxs[i] < tIdxs[j] })
+	w.Int(len(tIdxs))
+	for _, t := range tIdxs {
+		w.U64(uint64(t))
+		regs := wr.heldSrcs[t]
+		w.Int(len(regs))
+		for _, reg := range regs {
+			w.U64(uint64(reg))
+		}
+	}
+}
+
+// RestoreState reads the SaveState stream back: statistics and
+// scheduler scalars are installed, the structural block/warp records
+// are consumed and cross-checked against the replayed population
+// (replay already rebuilt the closure-bound pipeline state).
+func (s *SM) RestoreState(r *ckpt.Reader) error {
+	s.stats.Cycles = r.I64()
+	s.stats.ActiveCycles = r.I64()
+	s.stats.Committed = r.I64()
+	s.stats.Issued = r.I64()
+	s.stats.Fetched = r.I64()
+	s.stats.GlobalMemInsts = r.I64()
+	s.stats.MemRequests = r.I64()
+	s.stats.Faults = r.I64()
+	s.stats.Squashed = r.I64()
+	s.stats.Replays = r.I64()
+	s.stats.BlocksRun = r.I64()
+	s.stats.SwitchesOut = r.I64()
+	s.stats.SwitchesIn = r.I64()
+	s.stats.ContextBytes = r.I64()
+	s.stats.IssueStallLog = r.I64()
+	s.stats.IssueStallScore = r.I64()
+	s.stats.IssueStallChaos = r.I64()
+	for i := range s.stats.Stalls {
+		s.stats.Stalls[i] = r.I64()
+	}
+
+	s.lastFetch = r.Int()
+	s.lastIssue = r.Int()
+	s.idle = r.Bool()
+	s.assigned = r.Int()
+	nm := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nm != len(s.bufMask) {
+		return fmt.Errorf("sm %d: %d bufMask words, checkpoint has %d", s.ID, len(s.bufMask), nm)
+	}
+	for i := range s.bufMask {
+		s.bufMask[i] = r.U64()
+	}
+
+	ns := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if ns != len(s.slots) {
+		return fmt.Errorf("sm %d: %d block slots, checkpoint has %d", s.ID, len(s.slots), ns)
+	}
+	for i, b := range s.slots {
+		present := r.Bool()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if present != (b != nil) {
+			return fmt.Errorf("sm %d: slot %d occupancy does not match checkpoint", s.ID, i)
+		}
+		if present {
+			if err := skipBlock(r, b); err != nil {
+				return fmt.Errorf("sm %d slot %d: %w", s.ID, i, err)
+			}
+		}
+	}
+	no := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if no != len(s.offchip) {
+		return fmt.Errorf("sm %d: %d off-chip blocks, checkpoint has %d", s.ID, len(s.offchip), no)
+	}
+	for i, b := range s.offchip {
+		if err := skipBlock(r, b); err != nil {
+			return fmt.Errorf("sm %d off-chip %d: %w", s.ID, i, err)
+		}
+	}
+	return r.Err()
+}
+
+// skipBlock consumes one block record (the mirror of saveBlock),
+// cross-checking identity against the replayed block.
+func skipBlock(r *ckpt.Reader, b *blockRT) error {
+	id := r.Int()
+	r.Int() // slot
+	state := blockState(r.U64())
+	r.Int() // liveWarps
+	r.Int() // barrierCount
+	r.Int() // logUsed
+	r.Int() // pendingFaults
+	r.Int() // contextBytes
+	r.I64() // switchOutStart
+	nw := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if id != b.id || state != b.state {
+		return fmt.Errorf("replayed block %d (state %d), checkpoint has block %d (state %d)",
+			b.id, b.state, id, state)
+	}
+	if nw != len(b.warps) {
+		return fmt.Errorf("block %d: %d warps, checkpoint has %d", b.id, len(b.warps), nw)
+	}
+	for _, wr := range b.warps {
+		if err := skipWarp(r, wr); err != nil {
+			return fmt.Errorf("block %d: %w", b.id, err)
+		}
+	}
+	return r.Err()
+}
+
+// skipWarp consumes one warp record (the mirror of saveWarp).
+func skipWarp(r *ckpt.Reader, wr *warpRT) error {
+	idx := r.Int()
+	r.Int() // cursor
+	nr := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if idx != wr.idx {
+		return fmt.Errorf("replayed warp %d, checkpoint has warp %d", wr.idx, idx)
+	}
+	for i := 0; i < nr; i++ {
+		r.U64() // replay-queue entry
+	}
+	if r.Bool() { // buffered instruction present
+		r.U64() // its trace index
+	}
+	r.I64()  // bufReady
+	r.U64()  // fetchBlock
+	r.Bool() // fetchOwner present
+	for i := 0; i < len(wr.pendWrite); i++ {
+		r.U64()
+	}
+	r.Bytes() // pendRead
+	r.Int()   // inFlight
+	r.Bool()  // atBarrier
+	r.Bool()  // barFlight present
+	r.Int()   // faultsOutstanding
+	r.Bool()  // done
+	r.I64()   // faultWaitStart
+	r.I64()   // barStart
+	r.I64()   // fetchBlockStart
+	nh := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < nh; i++ {
+		r.U64()
+		ng := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		for j := 0; j < ng; j++ {
+			r.U64()
+		}
+	}
+	return r.Err()
+}

@@ -1,0 +1,127 @@
+package tlb
+
+import (
+	"fmt"
+	"sort"
+
+	"gpues/internal/ckpt"
+)
+
+// SaveState serializes the TLB: LRU clock, statistics, the full entry
+// array, and a structural summary of in-flight miss handling (sorted by
+// VPN — the mshrs map must never be iterated raw). Waiter and delivery
+// closures are rebuilt by replay on restore.
+func (t *TLB) SaveState(w *ckpt.Writer) {
+	w.I64(t.tick)
+	w.I64(t.stats.Hits)
+	w.I64(t.stats.Misses)
+	w.I64(t.stats.Merges)
+	w.I64(t.stats.Rejects)
+	w.I64(t.stats.Faults)
+
+	w.Int(t.sets)
+	w.Int(t.cfg.Ways)
+	for _, set := range t.entries {
+		for i := range set {
+			e := &set[i]
+			w.U64(e.vpn)
+			w.Bool(e.valid)
+			w.I64(e.lru)
+		}
+	}
+
+	w.Int(len(t.waiters))
+	vpns := make([]uint64, 0, len(t.mshrs))
+	for v := range t.mshrs {
+		vpns = append(vpns, v)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	w.Int(len(vpns))
+	for _, v := range vpns {
+		m := t.mshrs[v]
+		w.U64(v)
+		w.U64(m.pageVA)
+		w.I64(m.born)
+		w.Int(len(m.waiters))
+	}
+}
+
+// RestoreState reads the SaveState stream back, installing the entry
+// array and statistics and cross-checking the replayed MSHR population.
+func (t *TLB) RestoreState(r *ckpt.Reader) error {
+	t.tick = r.I64()
+	t.stats.Hits = r.I64()
+	t.stats.Misses = r.I64()
+	t.stats.Merges = r.I64()
+	t.stats.Rejects = r.I64()
+	t.stats.Faults = r.I64()
+
+	sets := r.Int()
+	ways := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if sets != t.sets || ways != t.cfg.Ways {
+		return fmt.Errorf("tlb %s: geometry %dx%d does not match checkpoint %dx%d",
+			t.cfg.Name, t.sets, t.cfg.Ways, sets, ways)
+	}
+	for _, set := range t.entries {
+		for i := range set {
+			e := &set[i]
+			e.vpn = r.U64()
+			e.valid = r.Bool()
+			e.lru = r.I64()
+		}
+	}
+
+	r.Int() // waiter count: closures, rebuilt by replay
+	n := r.Int()
+	for i := 0; i < n; i++ {
+		r.U64()
+		r.U64()
+		r.I64()
+		r.Int()
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(t.mshrs) {
+		return fmt.Errorf("tlb %s: replayed %d MSHRs, checkpoint has %d", t.cfg.Name, len(t.mshrs), n)
+	}
+	return nil
+}
+
+// SaveState serializes the fill unit: walk counters, busy walkers and
+// the queued walk requests in queue order (their completion closures
+// are rebuilt by replay).
+func (f *FillUnit) SaveState(w *ckpt.Writer) {
+	w.I64(f.Walks)
+	w.I64(f.FaultsDetected)
+	w.I64(f.FaultsInjected)
+	w.Int(f.busy)
+	w.Int(len(f.queue))
+	for i := range f.queue {
+		w.U64(f.queue[i].pageVA)
+	}
+}
+
+// RestoreState reads the SaveState stream back, installing counters and
+// cross-checking the replayed walker occupancy and queue.
+func (f *FillUnit) RestoreState(r *ckpt.Reader) error {
+	f.Walks = r.I64()
+	f.FaultsDetected = r.I64()
+	f.FaultsInjected = r.I64()
+	busy := r.Int()
+	n := r.Int()
+	for i := 0; i < n; i++ {
+		r.U64()
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if busy != f.busy || n != len(f.queue) {
+		return fmt.Errorf("fillunit: replayed %d busy / %d queued, checkpoint has %d / %d",
+			f.busy, len(f.queue), busy, n)
+	}
+	return nil
+}
