@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "comma-separated: table1, fig10, fig11, table2, fig12, fig13, fig14, scalability, ablations, chaos, all (chaos is not part of all)")
+		run       = flag.String("run", "all", "comma-separated: table1, fig10, fig11, table2, fig12, fig13, fig14, scalability, ablations, chaos, resilience, all (chaos and resilience are not part of all)")
 		scale     = flag.Int("scale", 0, "dataset scale (0 = per-figure default: 1 for fig10/11/14, 2 for fig12/13)")
 		benches   = flag.String("bench", "", "comma-separated benchmark subset (default: the figure's full suite)")
 		progress  = flag.Bool("progress", false, "print one line per completed simulation")
@@ -34,6 +34,11 @@ func main() {
 		traceFlt  = flag.String("trace-filter", "", "comma-separated event kinds or groups to trace (with -trace-dir); empty records everything")
 		resumeDir = flag.String("resume-dir", "", "record finished runs and checkpoint in-flight ones into this directory; re-invoking with the same options resumes a killed campaign")
 		ckptEvery = flag.Int64("checkpoint-every", 0, "in-flight checkpoint period in cycles (with -resume-dir; 0 = default)")
+		trials    = flag.Int("trials", 0, "seeded trials per resilience-campaign cell (0 = default)")
+		excepMode = flag.String("exception-mode", "precise", "exception delivery during resilience trials: precise or preemptible")
+		flipSeed  = flag.Int64("flip-seed", 0, "pin the resilience campaign's base flip seed (0 = derive one per cell)")
+		flipRate  = flag.Float64("flip-rate", 0, "override the resilience campaign's flip probability in [0,1] (0 = default)")
+		protectN  = flag.Int("protect-threads", -1, "pin the resilience campaign's protection to N threads per block (-1 = sweep the built-in ladder)")
 	)
 	flag.Parse()
 
@@ -45,6 +50,23 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	mode, err := gpues.ParseExcepMode(*excepMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *flipRate < 0 || *flipRate > 1 {
+		fmt.Fprintf(os.Stderr, "-flip-rate %g outside [0,1]\n", *flipRate)
+		os.Exit(2)
+	}
+	if *protectN < -1 {
+		fmt.Fprintf(os.Stderr, "-protect-threads %d must be -1 (sweep) or a non-negative thread count\n", *protectN)
+		os.Exit(2)
+	}
+	if *trials < 0 {
+		fmt.Fprintf(os.Stderr, "-trials %d must be non-negative\n", *trials)
+		os.Exit(2)
+	}
 
 	stopProf, err := prof.StartCPU(*cpuProf)
 	if err != nil {
@@ -54,7 +76,10 @@ func main() {
 
 	opt := gpues.ExperimentOptions{Scale: *scale, Parallelism: *par,
 		TraceDir: *traceDir, TraceFilter: *traceFlt,
-		ResumeDir: *resumeDir, CheckpointEvery: *ckptEvery}
+		ResumeDir: *resumeDir, CheckpointEvery: *ckptEvery,
+		Trials: *trials, FlipSeed: *flipSeed, FlipRate: *flipRate,
+		ProtectPin: *protectN >= 0, ProtectThreads: max(*protectN, 0),
+		ExcepMode: mode}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -176,6 +201,14 @@ func main() {
 	// Not part of "all": a robustness sweep, not a paper figure.
 	if want["chaos"] {
 		r, err := gpues.ChaosSweep(withScale(1))
+		if err != nil {
+			fail(err)
+		}
+		show(r)
+	}
+	// Not part of "all": the bit-flip resilience campaign.
+	if want["resilience"] {
+		r, err := gpues.ResilienceSweep(withScale(1))
 		if err != nil {
 			fail(err)
 		}

@@ -14,6 +14,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +51,10 @@ func main() {
 		resume    = flag.String("resume", "", "resume from a checkpoint file, or from the latest checkpoint in a directory")
 		digestAt  = flag.Int64("digest-at", 0, "run to this cycle (-1 = completion), print per-component state digests as JSON, and exit (the simbisect probe)")
 		perturbFl = flag.String("perturb", "", "comma-separated cycle:component artificial state divergences (for exercising simbisect; see docs/checkpointing.md)")
+		excepMode = flag.String("exception-mode", "precise", "device exception delivery: precise (drain and kill the faulting warp) or preemptible (squash the block via context save)")
+		flipSeed  = flag.Int64("flip-seed", 0, "bit-flip injection seed (with -flip-rate)")
+		flipRate  = flag.Float64("flip-rate", 0, "per-lane-instruction bit-flip probability in [0,1] (0 = off)")
+		protectN  = flag.Int("protect-threads", 0, "shield the first N threads of every block from bit flips")
 	)
 	flag.Parse()
 	digestMode := false
@@ -70,6 +75,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+	}
+	mode, err := gpues.ParseExcepMode(*excepMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *flipRate < 0 || *flipRate > 1 {
+		fmt.Fprintf(os.Stderr, "-flip-rate %v outside [0,1]\n", *flipRate)
+		os.Exit(2)
+	}
+	if *protectN < 0 {
+		fmt.Fprintf(os.Stderr, "-protect-threads %d must be non-negative\n", *protectN)
+		os.Exit(2)
+	}
+	if *flipSeed != 0 && *flipRate == 0 {
+		fmt.Fprintln(os.Stderr, "-flip-seed needs -flip-rate > 0")
+		os.Exit(2)
 	}
 
 	if *list {
@@ -113,6 +135,8 @@ func main() {
 	cfg.DemandPaging = *paging
 	cfg.Scheduler.Enabled = *switching
 	cfg.Local.Enabled = *local
+	cfg.Excep.Mode = mode
+	cfg.Excep.Flip = gpues.FlipConfig{Seed: *flipSeed, Rate: *flipRate, ProtectThreads: *protectN}
 
 	place := gpues.ResidentPlacement()
 	switch {
@@ -131,6 +155,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "note: block switching needs a preemptible scheme; using replay-queue")
 			cfg.Scheme = gpues.ReplayQueue
 		}
+	}
+	if mode == gpues.ExcepPreemptible && !cfg.Scheme.Preemptible() {
+		fmt.Fprintln(os.Stderr, "-exception-mode preemptible needs a preemptible scheme (see -scheme)")
+		os.Exit(2)
 	}
 
 	spec, err := gpues.BuildWorkload(*workload, gpues.WorkloadParams{Scale: *scale, Placement: place})
@@ -191,6 +219,7 @@ func main() {
 			Resume:          *resume,
 		})
 		if err != nil {
+			exitOnExcep(err, writeTrace)
 			fmt.Fprintln(os.Stderr, err)
 			writeTrace()
 			os.Exit(1)
@@ -235,6 +264,7 @@ func main() {
 		}
 		res, err = s.Run()
 		if err != nil {
+			exitOnExcep(err, writeTrace)
 			fmt.Fprintln(os.Stderr, err)
 			writeTrace()
 			os.Exit(1)
@@ -259,6 +289,10 @@ func main() {
 	fmt.Printf("cycles        %d (%.1f us at %.0f GHz)\n",
 		res.Cycles, float64(res.Cycles)/1000/cfg.System.FrequencyGHz, cfg.System.FrequencyGHz)
 	fmt.Printf("committed     %d warp instructions, IPC %.2f\n", res.Committed, res.IPC())
+	if res.Flips > 0 {
+		fmt.Printf("flips         %d architectural bit flips injected (seed %d, rate %g)\n",
+			res.Flips, *flipSeed, *flipRate)
+	}
 	fmt.Printf("occupancy     %d-%d blocks/SM (mean %.1f)\n",
 		res.OccupancyMin, res.Occupancy, res.OccupancyMean)
 	fmt.Printf("L2            %d hits / %d misses, %d writebacks\n", res.L2.Hits, res.L2.Misses, res.L2.WriteBacks)
@@ -313,6 +347,24 @@ func main() {
 				s.Faults, s.SwitchesOut, s.SwitchesIn)
 		}
 	}
+}
+
+// exitOnExcep prints a device exception's structured records — the
+// stack-trace report CI compares against golden files — and exits with
+// status 3, distinct from the generic failure status 1 so callers can
+// tell a caught device exception from a simulator failure. A non-
+// exception error returns without acting.
+func exitOnExcep(err error, flush func()) {
+	var ee *gpues.ExcepError
+	if !errors.As(err, &ee) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, err)
+	for _, r := range ee.Records {
+		fmt.Fprintln(os.Stderr, r.String())
+	}
+	flush()
+	os.Exit(3)
 }
 
 // applyPerturbs parses a comma-separated cycle:component list and

@@ -29,6 +29,7 @@ import (
 	"gpues/internal/ckpt"
 	"gpues/internal/config"
 	"gpues/internal/emu"
+	"gpues/internal/excep"
 	"gpues/internal/experiments"
 	"gpues/internal/isa"
 	"gpues/internal/kernel"
@@ -140,6 +141,58 @@ func RunChaos(cfg Config, spec LaunchSpec, plan *ChaosPlan) (*ChaosResult, error
 // flight recorder for stall reports.
 func RunChaosTraced(cfg Config, spec LaunchSpec, plan *ChaosPlan, tr *Tracer) (*ChaosResult, error) {
 	return sim.RunChaosTraced(cfg, spec, plan, tr)
+}
+
+// Device exceptions & resilience ------------------------------------------
+
+// ExcepMode selects how a device-raised exception is delivered: precise
+// (drain and kill the faulting warp) or preemptible (squash the block
+// through the context-save path).
+type ExcepMode = excep.Mode
+
+// The two delivery modes.
+const (
+	// ExcepPrecise drains the faulting warp and reports a structured
+	// device stack trace.
+	ExcepPrecise = excep.ModePrecise
+	// ExcepPreemptible squashes the faulting block via the paper's
+	// SM-state save path; requires a preemptible scheme.
+	ExcepPreemptible = excep.ModePreemptible
+)
+
+// ParseExcepMode parses "precise" or "preemptible".
+func ParseExcepMode(s string) (ExcepMode, error) { return excep.ParseMode(s) }
+
+// ExcepKind is the device-exception taxonomy (assert, illegal address,
+// misaligned access, device-malloc OOM, trap).
+type ExcepKind = excep.Kind
+
+// ExcepRecord is one raised exception: coordinates, faulting PC and
+// instruction, and the divergence-stack frames at the fault.
+type ExcepRecord = excep.Record
+
+// ExcepError is the structured error a run terminates with when the
+// host observes device exceptions (recover it with errors.As).
+type ExcepError = excep.Error
+
+// FlipConfig parameterizes the seeded bit-flip injector of the
+// resilience campaign (set it on Config.Excep.Flip).
+type FlipConfig = excep.FlipConfig
+
+// FlipOutcome classifies one resilience trial: masked, sdc, exception,
+// crash, or hang.
+type FlipOutcome = excep.Outcome
+
+// ResilienceTrial is one classified flip-injection run.
+type ResilienceTrial = sim.Trial
+
+// ResilienceTrialOptions bounds one trial.
+type ResilienceTrialOptions = sim.TrialOptions
+
+// RunResilienceTrial runs the launch under cfg.Excep.Flip and
+// classifies the outcome against a clean functional oracle.
+func RunResilienceTrial(cfg Config, spec LaunchSpec, opt ResilienceTrialOptions) (*ResilienceTrial, error) {
+	return sim.RunResilienceTrial(cfg, spec, opt)
 }
 
 // Checkpoint/restore ------------------------------------------------------
@@ -323,6 +376,13 @@ func LocalHandlingScalability(opt ExperimentOptions) (*ExperimentResult, error) 
 // is checked against the functional oracle.
 func ChaosSweep(opt ExperimentOptions) (*ExperimentResult, error) {
 	return experiments.Chaos(opt)
+}
+
+// ResilienceSweep runs the bit-flip resilience campaign: seeded trials
+// per benchmark and thread-protection level, each classified by the
+// functional oracle into masked / sdc / exception / crash / hang.
+func ResilienceSweep(opt ExperimentOptions) (*ExperimentResult, error) {
+	return experiments.Resilience(opt)
 }
 
 // RunAblations sweeps the design parameters (switch threshold, extra

@@ -12,8 +12,8 @@ import (
 // small figure slice and the static tables.
 func TestPublicAPIRoundTrip(t *testing.T) {
 	names := gpues.WorkloadNames("")
-	if len(names) != 16 {
-		t.Fatalf("workloads = %d, want 16", len(names))
+	if len(names) != 18 {
+		t.Fatalf("workloads = %d, want 18", len(names))
 	}
 	if _, err := gpues.WorkloadDescription("lbm"); err != nil {
 		t.Fatal(err)

@@ -40,6 +40,7 @@ var corePackages = []string{
 	"internal/host",
 	"internal/vm",
 	"internal/emu",
+	"internal/excep",
 	"internal/obs",
 	"internal/ckpt",
 	"internal/bisect",

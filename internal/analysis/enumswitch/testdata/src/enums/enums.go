@@ -29,6 +29,31 @@ const (
 	StatCount // the real sentinel
 )
 
+// ExcKind mirrors the exception taxonomy: an iota block whose sentinel
+// name embeds "Num" mid-identifier (NumExcKinds).
+type ExcKind uint8
+
+const (
+	ExcAssert ExcKind = iota
+	ExcIllegalAddr
+	ExcMisaligned
+	ExcOOM
+	ExcTrap
+	NumExcKinds // sentinel
+)
+
+// Outcome mirrors the resilience-campaign classification enum.
+type Outcome uint8
+
+const (
+	OutMasked Outcome = iota
+	OutSDC
+	OutException
+	OutCrash
+	OutHang
+	NumOutcomes
+)
+
 // --- flagged constructs ------------------------------------------------
 
 func colorName(c Color) string {
@@ -55,6 +80,22 @@ func statName(s Stat) string {
 		return "other"
 	}
 	return ""
+}
+
+func excKindFatal(k ExcKind) bool {
+	switch k { // want "missing ExcOOM, ExcTrap"
+	case ExcAssert, ExcIllegalAddr, ExcMisaligned:
+		return true
+	}
+	return false
+}
+
+func outcomeBenign(o Outcome) bool {
+	switch o { // want "missing OutCrash, OutHang, OutSDC"
+	case OutMasked, OutException:
+		return true
+	}
+	return false
 }
 
 // --- clean patterns (no diagnostics allowed) ---------------------------
@@ -94,4 +135,20 @@ func notAnEnum(n int) int {
 		return 1
 	}
 	return 0
+}
+
+func outcomeName(o Outcome) string {
+	switch o { // exhaustive without NumOutcomes: sentinel not required
+	case OutMasked:
+		return "masked"
+	case OutSDC:
+		return "sdc"
+	case OutException:
+		return "exception"
+	case OutCrash:
+		return "crash"
+	case OutHang:
+		return "hang"
+	}
+	return "?"
 }

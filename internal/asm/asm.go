@@ -532,6 +532,54 @@ func (p *parser) decode(in isa.Instruction, mnem string, ops []string) (isa.Inst
 		}
 		return in, nil
 
+	case mnem == "assert":
+		in.Op = isa.OpAssert
+		if err := want(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.SrcA, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Imm, err = parseImm(ops[1]); err != nil {
+			return in, err
+		}
+		return in, nil
+
+	case mnem == "trap":
+		in.Op = isa.OpTrap
+		if err := want(1); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Imm, err = parseImm(ops[0]); err != nil {
+			return in, err
+		}
+		return in, nil
+
+	case mnem == "malloc":
+		in.Op = isa.OpMalloc
+		if err := want(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Dst, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		r, imm, isReg, err := regOrImm(ops[1])
+		if err != nil {
+			return in, err
+		}
+		if isReg {
+			in.SrcA = r
+		} else {
+			// Immediate size: RZ marks "use the immediate", matching the
+			// builder's normalization.
+			in.SrcA = isa.RZ
+			in.Imm = imm
+		}
+		return in, nil
+
 	case base == "ld" || base == "st" || base == "atom":
 		return p.decodeMem(in, base, suffixes, ops)
 

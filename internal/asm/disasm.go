@@ -173,6 +173,15 @@ func formatInst(in isa.Instruction, labels map[int32]string) string {
 		}
 		return fmt.Sprintf("%sst.%s.%s %s, %s", pred, space, sizeSuffix(in.Size),
 			memOperand(in.SrcA, in.Imm), regName(in.SrcB))
+	case isa.OpAssert:
+		return fmt.Sprintf("%sassert %s, #%d", pred, regName(in.SrcA), in.Imm)
+	case isa.OpTrap:
+		return fmt.Sprintf("%strap #%d", pred, in.Imm)
+	case isa.OpMalloc:
+		if in.SrcA == isa.RegNone || in.SrcA == isa.RZ {
+			return fmt.Sprintf("%smalloc %s, #%d", pred, regName(in.Dst), in.Imm)
+		}
+		return fmt.Sprintf("%smalloc %s, %s", pred, regName(in.Dst), regName(in.SrcA))
 	case isa.OpAtomGlobal:
 		s := fmt.Sprintf("%satom.global.%v.%s %s, %s, %s", pred, in.Atom, sizeSuffix(in.Size),
 			regName(in.Dst), memOperand(in.SrcA, in.Imm), regName(in.SrcB))

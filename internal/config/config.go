@@ -4,7 +4,11 @@
 // NVLink or PCI Express 3.0.
 package config
 
-import "fmt"
+import (
+	"fmt"
+
+	"gpues/internal/excep"
+)
 
 // Scheme selects the SM pipeline organization with respect to exception
 // support. Baseline is the stall-on-fault pipeline of current GPUs (no
@@ -212,6 +216,27 @@ type LocalHandlerConfig struct {
 	Concurrency int
 }
 
+// ExcepConfig configures device-side exception handling (the taxonomy
+// and delivery modes of internal/excep) and the seeded bit-flip
+// resilience campaign.
+type ExcepConfig struct {
+	// Mode selects exception delivery: precise (drain outstanding
+	// replays, kill the offending warp, run the rest of the machine on)
+	// or preemptible (squash the offending block through the
+	// block-switch save path). Preemptible delivery needs a scheme that
+	// can preempt, i.e. any scheme other than the baseline.
+	Mode excep.Mode
+	// PollEvery is the host's exception-flag polling granularity in
+	// cycles — the model's API-call boundary. The run terminates with
+	// the structured exception error at the first poll boundary after
+	// the first record posts (or at launch completion, if sooner).
+	// 0 selects the host default.
+	PollEvery int64
+	// Flip is the seeded architectural bit-flip injection campaign;
+	// a zero Rate disables injection entirely.
+	Flip excep.FlipConfig
+}
+
 // Config is the complete configuration of a simulation.
 type Config struct {
 	SM        SMConfig
@@ -220,6 +245,7 @@ type Config struct {
 	Scheme    Scheme
 	Scheduler SchedulerConfig
 	Local     LocalHandlerConfig
+	Excep     ExcepConfig
 
 	// DemandPaging starts all data in CPU memory and migrates on fault.
 	// When false, data is pre-placed in GPU memory (explicit transfers).
@@ -303,6 +329,10 @@ func Default() Config {
 			MaxExtraBlocks:  4,
 			SwitchThreshold: 1,
 		},
+		Excep: ExcepConfig{
+			Mode:      excep.ModePrecise,
+			PollEvery: 1024,
+		},
 	}
 }
 
@@ -376,6 +406,18 @@ func (c *Config) Validate() error {
 	case c.Scheme == OperandLog && c.SM.OperandLog.Entries() < c.SM.MaxThreadBlocks:
 		return fmt.Errorf("config: operand log of %d entries cannot give one entry to each of %d blocks",
 			c.SM.OperandLog.Entries(), c.SM.MaxThreadBlocks)
+	case c.Excep.Mode < 0 || c.Excep.Mode >= excep.NumModes:
+		return fmt.Errorf("config: unknown exception mode %d", int(c.Excep.Mode))
+	case c.Excep.Mode == excep.ModePreemptible && !c.Scheme.Preemptible():
+		return fmt.Errorf("config: preemptible exception delivery requires a preemptible scheme, not %s",
+			c.Scheme)
+	case c.Excep.PollEvery < 0:
+		return fmt.Errorf("config: exception poll period %d must not be negative", c.Excep.PollEvery)
+	case c.Excep.Flip.Rate < 0 || c.Excep.Flip.Rate > 1:
+		return fmt.Errorf("config: flip rate %g outside [0,1]", c.Excep.Flip.Rate)
+	case c.Excep.Flip.ProtectThreads < 0:
+		return fmt.Errorf("config: protected thread count %d must not be negative",
+			c.Excep.Flip.ProtectThreads)
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/bits"
 
+	"gpues/internal/excep"
+	"gpues/internal/gpualloc"
 	"gpues/internal/isa"
 	"gpues/internal/kernel"
 )
@@ -12,6 +14,24 @@ import (
 // DefaultMaxWarpInsts bounds the dynamic instructions emulated per warp,
 // to turn runaway kernels into errors instead of hangs.
 const DefaultMaxWarpInsts = 8 << 20
+
+// IllegalFloor is the lowest legal global address: accesses below it
+// (the null page and its surroundings; workloads place buffers at
+// 16 MB+) raise a KindIllegalAddress device exception.
+const IllegalFloor = 1 << 16
+
+// HangError marks functional non-termination — a warp exceeding its
+// dynamic instruction budget or a block deadlocking at a barrier. It
+// is the functional analogue of a timing-watchdog hang and is
+// classified as one by the resilience campaign (recover with
+// errors.As).
+type HangError struct{ msg string }
+
+func (e *HangError) Error() string { return e.msg }
+
+func hangErrorf(format string, args ...any) error {
+	return &HangError{msg: fmt.Sprintf(format, args...)}
+}
 
 // Emulator executes thread blocks of a kernel launch functionally and
 // produces their dynamic traces. One Emulator serves one launch; blocks
@@ -25,6 +45,13 @@ type Emulator struct {
 	// MaxWarpInsts bounds the dynamic instruction count per warp.
 	MaxWarpInsts int
 
+	// AddrValid, when set, is the launch's address map: global accesses
+	// to addresses it rejects raise an illegal-address exception, the
+	// functional equivalent of an MMU fault on an unmapped VA. Unset,
+	// only the IllegalFloor check applies (the timing layer still
+	// aborts on unmapped accesses).
+	AddrValid func(addr uint64) bool
+
 	// Blocks are emulated one at a time, so one set of execution
 	// scratch state serves every block: warp contexts (their 64 KB
 	// register files are the dominant per-block allocation) and the
@@ -37,6 +64,13 @@ type Emulator struct {
 	sharedBuf []byte
 	traceHint int
 	arena     []uint64
+
+	// flip is the armed bit-flip injector (zero = off); flips counts
+	// the flips applied so far across all blocks.
+	flip  excep.FlipConfig
+	flips int64
+	// heap backs OpMalloc when the launch declares a device heap.
+	heap *gpualloc.Allocator
 }
 
 // arenaChunk is the allocation granule for coalesced line addresses.
@@ -57,13 +91,29 @@ func New(l *kernel.Launch, mem *Memory, lineSize int) (*Emulator, error) {
 	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
 		return nil, fmt.Errorf("emu: line size %d not a power of two", lineSize)
 	}
+	var heap *gpualloc.Allocator
+	if l.HeapBytes > 0 {
+		var err error
+		if heap, err = gpualloc.New(l.HeapBase, l.HeapBytes); err != nil {
+			return nil, err
+		}
+	}
 	return &Emulator{
 		launch:       l,
 		mem:          mem,
 		lineSize:     uint64(lineSize),
 		MaxWarpInsts: DefaultMaxWarpInsts,
+		heap:         heap,
 	}, nil
 }
+
+// ConfigureFlips arms the bit-flip injector for the launch. Call
+// before any block is emulated.
+func (e *Emulator) ConfigureFlips(cfg excep.FlipConfig) { e.flip = cfg }
+
+// Flips returns the number of bit flips injected so far. Blocks are
+// emulated deterministically, so the count is seed-stable.
+func (e *Emulator) Flips() int64 { return e.flips }
 
 // Memory returns the functional memory the emulator executes against.
 func (e *Emulator) Memory() *Memory { return e.mem }
@@ -86,6 +136,16 @@ type warpCtx struct {
 	done      bool
 	insts     int
 	trace     []TraceInst
+
+	// excep is the warp's raised exception, if any: the trace ends
+	// just before the faulting instruction and the warp counts as done
+	// (so barriers release, matching a killed warp in the SM).
+	excep *excep.Record
+	// flipAddrXor holds this instruction's transient address flips,
+	// applied by execMem to the effective addresses of lanes in
+	// flipAddrMask.
+	flipAddrMask uint32
+	flipAddrXor  [32]uint64
 }
 
 // EmulateBlock executes thread block blockID to completion and returns
@@ -131,6 +191,8 @@ func (e *Emulator) EmulateBlock(blockID int) (*BlockTrace, error) {
 		ctx.done = false
 		ctx.insts = 0
 		ctx.trace = make([]TraceInst, 0, e.traceHint)
+		ctx.excep = nil
+		ctx.flipAddrMask = 0
 	}
 
 	// Round-robin warp execution, switching at barriers, until all warps
@@ -172,7 +234,7 @@ func (e *Emulator) EmulateBlock(blockID int) (*BlockTrace, error) {
 			progress = true
 		}
 		if !progress {
-			return nil, fmt.Errorf("emu: block %d deadlocked at a barrier (divergent __syncthreads?)", blockID)
+			return nil, hangErrorf("emu: block %d deadlocked at a barrier (divergent __syncthreads?)", blockID)
 		}
 	}
 
@@ -183,7 +245,7 @@ func (e *Emulator) EmulateBlock(blockID int) (*BlockTrace, error) {
 		}
 		tr := ctx.trace
 		ctx.trace = nil
-		bt.Warps[w] = WarpTrace{WarpID: w, Insts: tr}
+		bt.Warps[w] = WarpTrace{WarpID: w, Insts: tr, Excep: ctx.excep}
 		bt.DynInsts += len(tr)
 		for i := range tr {
 			ti := &tr[i]
@@ -223,7 +285,7 @@ func (e *Emulator) runWarp(w *warpCtx, blockID int, shared []byte) error {
 			max = DefaultMaxWarpInsts
 		}
 		if w.insts > max {
-			return fmt.Errorf("exceeded %d dynamic instructions (runaway loop?)", max)
+			return hangErrorf("exceeded %d dynamic instructions (runaway loop?)", max)
 		}
 
 		in := &code[top.pc]
@@ -238,6 +300,9 @@ func (e *Emulator) runWarp(w *warpCtx, blockID int, shared []byte) error {
 				}
 			}
 			execMask = pm
+		}
+		if e.flip.Enabled() {
+			execMask = e.injectFlips(w, in, active, execMask, blockID)
 		}
 
 		ti := TraceInst{PC: top.pc, Static: in, Mask: execMask}
@@ -254,6 +319,22 @@ func (e *Emulator) runWarp(w *warpCtx, blockID int, shared []byte) error {
 				top.pc = in.Target
 			default:
 				if in.Reconv < 0 {
+					// A divergent asserted-uniform branch is an emulator
+					// invariant violation — except under fault injection,
+					// where an injected flip corrupting the predicate is
+					// the expected cause: there it models hardware
+					// detecting control-flow corruption at a .uni branch
+					// and raises a trap, so the campaign exercises the
+					// exception path instead of aborting the simulator.
+					if e.flip.Enabled() {
+						minority := taken
+						if bits.OnesCount32(notTaken) < bits.OnesCount32(taken) {
+							minority = notTaken
+						}
+						e.raise(w, blockID, excep.KindTrap, top.pc, in, minority, 0,
+							fmt.Sprintf("uniform branch diverged (taken=%08x)", taken))
+						return nil
+					}
 					return fmt.Errorf("pc %d: branch asserted warp-uniform diverged (taken=%08x)", top.pc, taken)
 				}
 				fall := top.pc + 1
@@ -282,6 +363,45 @@ func (e *Emulator) runWarp(w *warpCtx, blockID int, shared []byte) error {
 			if err := e.execMem(w, in, execMask, blockID, shared, &ti); err != nil {
 				return fmt.Errorf("pc %d (%v): %w", top.pc, in, err)
 			}
+			if w.excep != nil {
+				return nil
+			}
+			w.trace = append(w.trace, ti)
+			top.pc++
+			continue
+
+		case isa.OpAssert:
+			var failed uint32
+			for m := execMask; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				if e.readReg(w, lane, in.SrcA) == 0 {
+					failed |= 1 << lane
+				}
+			}
+			if failed != 0 {
+				e.raise(w, blockID, excep.KindAssert, top.pc, in, failed, 0,
+					fmt.Sprintf("assert %d failed on %d lane(s)", in.Imm, bits.OnesCount32(failed)))
+				return nil
+			}
+			w.trace = append(w.trace, ti)
+			top.pc++
+			continue
+
+		case isa.OpTrap:
+			if execMask != 0 {
+				e.raise(w, blockID, excep.KindTrap, top.pc, in, execMask, 0,
+					fmt.Sprintf("trap %d", in.Imm))
+				return nil
+			}
+			w.trace = append(w.trace, ti)
+			top.pc++
+			continue
+
+		case isa.OpMalloc:
+			e.execMalloc(w, in, execMask, blockID, top.pc)
+			if w.excep != nil {
+				return nil
+			}
 			w.trace = append(w.trace, ti)
 			top.pc++
 			continue
@@ -294,6 +414,98 @@ func (e *Emulator) runWarp(w *warpCtx, blockID int, shared []byte) error {
 			top.pc++
 			continue
 		}
+	}
+}
+
+// raise builds the warp's exception record from its current divergence
+// stack and retires the warp: the trace ends just before the faulting
+// instruction, which therefore never reaches the timing pipeline, and
+// the warp counts as done so block barriers release (the SM kills the
+// warp the same way at delivery). lanes is the set of lanes the
+// condition fired on; the report names the lowest.
+func (e *Emulator) raise(w *warpCtx, blockID int, k excep.Kind, pc int32, in *isa.Instruction, lanes uint32, addr uint64, detail string) {
+	frames := make([]excep.Frame, len(w.stack))
+	for i, s := range w.stack {
+		frames[i] = excep.Frame{PC: s.pc, RPC: s.rpc, Mask: s.mask}
+	}
+	if n := len(frames); n > 0 {
+		// The top entry's pc is the faulting instruction itself.
+		frames[n-1].PC = pc
+	}
+	w.excep = &excep.Record{
+		Kind: k, Block: int32(blockID), Warp: int32(w.id),
+		Lane: int32(bits.TrailingZeros32(lanes)),
+		PC:   pc, Mnemonic: in.Op.Mnemonic(),
+		Addr: addr, Detail: detail, Frames: frames,
+	}
+	w.done = true
+}
+
+// injectFlips applies this instruction's bit-flip decisions to the
+// warp's architectural state: a source-register bit (persistent), the
+// lane's participation bit (transient, the predicate flip), or — for
+// memory instructions — an effective-address bit (transient, applied
+// by execMem through flipAddrXor). Decisions are pure functions of the
+// site, so reruns of the same seed flip identically.
+func (e *Emulator) injectFlips(w *warpCtx, in *isa.Instruction, active, execMask uint32, blockID int) uint32 {
+	for m := w.flipAddrMask; m != 0; m &= m - 1 {
+		w.flipAddrXor[bits.TrailingZeros32(m)] = 0
+	}
+	w.flipAddrMask = 0
+	memOp := in.IsMem()
+	inst := int32(w.insts)
+	for m := active; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		d, ok := e.flip.At(int32(blockID), int32(w.id), int32(lane), inst, w.id*32+lane, memOp)
+		if !ok {
+			continue
+		}
+		switch d.Target {
+		case excep.TargetRegister:
+			var srcs [4]isa.Reg
+			n := 0
+			for _, r := range [...]isa.Reg{in.SrcA, in.SrcB, in.SrcC, in.Pred} {
+				if r != isa.RegNone && r != isa.RZ {
+					srcs[n] = r
+					n++
+				}
+			}
+			if n == 0 {
+				continue // no register state read here: the flip lands in unused space
+			}
+			w.regs[lane][srcs[int(d.Src)%n]] ^= 1 << (d.Bit & 63)
+		case excep.TargetPredicate:
+			execMask ^= 1 << lane
+		case excep.TargetAddress:
+			w.flipAddrXor[lane] ^= 1 << (d.Bit & 63)
+			w.flipAddrMask |= 1 << lane
+		}
+		e.flips++
+	}
+	return execMask
+}
+
+// execMalloc serves a device-malloc instruction lane by lane; heap
+// exhaustion (or a missing heap) raises KindDeviceOOM.
+func (e *Emulator) execMalloc(w *warpCtx, in *isa.Instruction, mask uint32, blockID int, pc int32) {
+	for m := mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		size := in.Imm
+		if in.SrcA != isa.RegNone && in.SrcA != isa.RZ {
+			size = int64(e.readReg(w, lane, in.SrcA))
+		}
+		if e.heap == nil {
+			e.raise(w, blockID, excep.KindDeviceOOM, pc, in, 1<<lane, 0,
+				"device malloc without a device heap")
+			return
+		}
+		tid := blockID*e.launch.ThreadsPerBlock() + w.id*32 + lane
+		addr, err := e.heap.Alloc(tid, int(size))
+		if err != nil {
+			e.raise(w, blockID, excep.KindDeviceOOM, pc, in, 1<<lane, 0, err.Error())
+			return
+		}
+		e.writeReg(w, lane, in.Dst, addr)
 	}
 }
 
@@ -527,6 +739,31 @@ func (e *Emulator) execMem(w *warpCtx, in *isa.Instruction, mask uint32, blockID
 	for m := mask; m != 0; m &= m - 1 {
 		lane := bits.TrailingZeros32(m)
 		addrs[lane] = e.readReg(w, lane, in.SrcA) + uint64(in.Imm)
+	}
+	for m := w.flipAddrMask & mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		addrs[lane] ^= w.flipAddrXor[lane]
+	}
+	if in.IsGlobalMem() {
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			a := addrs[lane]
+			if a < IllegalFloor {
+				e.raise(w, blockID, excep.KindIllegalAddress, ti.PC, in, 1<<lane, a,
+					"global access below the mapped address space")
+				return nil
+			}
+			if a%uint64(size) != 0 {
+				e.raise(w, blockID, excep.KindMisaligned, ti.PC, in, 1<<lane, a,
+					fmt.Sprintf("address not %d-byte aligned", size))
+				return nil
+			}
+			if e.AddrValid != nil && !e.AddrValid(a) {
+				e.raise(w, blockID, excep.KindIllegalAddress, ti.PC, in, 1<<lane, a,
+					"global access outside any mapped region")
+				return nil
+			}
+		}
 	}
 
 	switch in.Op {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"gpues/internal/excep"
 	"gpues/internal/isa"
 )
 
@@ -47,6 +48,10 @@ type WarpTrace struct {
 	WarpID int
 	// Insts is the dynamic instruction stream in execution order.
 	Insts []TraceInst
+	// Excep, when set, is the device exception the warp raised: Insts
+	// ends just before the faulting instruction and the timing layer
+	// delivers the record once the warp drains (see internal/sm).
+	Excep *excep.Record
 }
 
 // BlockTrace is the dynamic trace of one thread block: one WarpTrace per

@@ -1,0 +1,214 @@
+// Package excep defines the device-raised exception model layered on
+// top of the paper's replay/squash machinery: the exception taxonomy
+// (assert failures, illegal and misaligned addresses, device-malloc
+// OOM, trap instructions), the two delivery modes (precise and
+// preemptible), the structured per-warp exception record with its
+// device stack trace, and the outcome taxonomy of the bit-flip
+// resilience campaign.
+//
+// The package is a leaf: it imports nothing from the simulator, so the
+// config, emulator, SM, host and driver layers can all share its types
+// without cycles. See docs/exceptions.md for the full semantics.
+package excep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a device-raised exception.
+type Kind uint8
+
+const (
+	// KindAssert is a failed device-side assertion (the assert
+	// instruction with a false condition on an active lane).
+	KindAssert Kind = iota
+	// KindIllegalAddress is a global access to an unmapped address: the
+	// null page and its surroundings, or — when the emulator has the
+	// launch's address map — any address outside every mapped region
+	// (the functional equivalent of an MMU fault).
+	KindIllegalAddress
+	// KindMisaligned is a global access whose address is not a multiple
+	// of the access size.
+	KindMisaligned
+	// KindDeviceOOM is a device-side malloc that exhausted the device
+	// heap (gpualloc).
+	KindDeviceOOM
+	// KindTrap is an explicit trap instruction reaching an active lane,
+	// or — under bit-flip injection — hardware-detected control-flow
+	// corruption: a branch asserted warp-uniform that diverged.
+	KindTrap
+	// NumKinds bounds the Kind range for iteration.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	KindAssert:         "assert",
+	KindIllegalAddress: "illegal-address",
+	KindMisaligned:     "misaligned",
+	KindDeviceOOM:      "device-oom",
+	KindTrap:           "trap",
+}
+
+// String returns the kind's stable report name.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Mode selects how a raised exception is delivered to the host.
+type Mode uint8
+
+const (
+	// ModePrecise drains the offending warp's outstanding work, kills
+	// the warp, and reports a structured device stack trace. Older
+	// instructions commit; the faulting one and everything younger do
+	// not.
+	ModePrecise Mode = iota
+	// ModePreemptible squashes the offending block through the paper's
+	// block-switch path (SM-state save) and propagates the exception to
+	// the host; the block never switches back in.
+	ModePreemptible
+	// NumModes bounds the Mode range.
+	NumModes
+)
+
+var modeNames = [NumModes]string{
+	ModePrecise:     "precise",
+	ModePreemptible: "preemptible",
+}
+
+// String returns the mode's flag-value name.
+func (m Mode) String() string {
+	if m < NumModes {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ParseMode parses a -exception-mode flag value.
+func ParseMode(s string) (Mode, error) {
+	for m := Mode(0); m < NumModes; m++ {
+		if s == modeNames[m] {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("excep: unknown exception mode %q (want precise or preemptible)", s)
+}
+
+// Frame is one level of the device stack trace: a divergence-stack
+// entry of the emulator at the moment the exception was raised,
+// outermost first. RPC is the reconvergence PC of that level; Mask is
+// the lane mask active within it.
+type Frame struct {
+	PC   int32
+	RPC  int32
+	Mask uint32
+}
+
+// Record is one raised device exception: what happened, where, and the
+// device stack trace leading to it. Records are built functionally by
+// the emulator, so they are bit-identical across reruns of the same
+// seed.
+type Record struct {
+	Kind  Kind
+	Block int32
+	Warp  int32
+	// Lane is the lowest active lane the condition fired on.
+	Lane int32
+	// PC and Mnemonic identify the faulting instruction.
+	PC       int32
+	Mnemonic string
+	// Addr is the faulting address (illegal/misaligned kinds).
+	Addr uint64
+	// Detail is the kind-specific message (assert ids, OOM usage).
+	Detail string
+	// Frames is the divergence stack at the raise, outermost first; the
+	// last frame is the faulting one.
+	Frames []Frame
+}
+
+// String renders the record as the multi-line device stack-trace
+// report the CLI prints (and CI golden-compares).
+func (r *Record) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "device exception: %s at pc %d (%s), block %d warp %d lane %d",
+		r.Kind, r.PC, r.Mnemonic, r.Block, r.Warp, r.Lane)
+	if r.Kind == KindIllegalAddress || r.Kind == KindMisaligned {
+		fmt.Fprintf(&sb, ", address %#x", r.Addr)
+	}
+	if r.Detail != "" {
+		fmt.Fprintf(&sb, "\n  detail: %s", r.Detail)
+	}
+	for i, f := range r.Frames {
+		fmt.Fprintf(&sb, "\n  frame %d: pc %d reconverge %d mask %#08x", i, f.PC, f.RPC, f.Mask)
+	}
+	return sb.String()
+}
+
+// Error is the run-terminating error carrying the exception records
+// the host observed at its poll boundary (recover it with errors.As).
+type Error struct {
+	// Cycle is the host poll boundary the run terminated at.
+	Cycle int64
+	// Records holds every exception posted up to that boundary, in
+	// post order.
+	Records []*Record
+}
+
+// Error summarizes the first record; the full reports come from
+// Records.
+func (e *Error) Error() string {
+	if len(e.Records) == 0 {
+		return fmt.Sprintf("excep: device exception at cycle %d", e.Cycle)
+	}
+	r := e.Records[0]
+	extra := ""
+	if len(e.Records) > 1 {
+		extra = fmt.Sprintf(" (+%d more)", len(e.Records)-1)
+	}
+	return fmt.Sprintf("excep: %s at pc %d, block %d warp %d (host observed at cycle %d)%s",
+		r.Kind, r.PC, r.Block, r.Warp, e.Cycle, extra)
+}
+
+// Outcome classifies one resilience-campaign trial.
+type Outcome uint8
+
+const (
+	// OutcomeMasked: the run completed and the final memory matches the
+	// clean functional oracle — the flips had no architectural effect.
+	OutcomeMasked Outcome = iota
+	// OutcomeSDC: the run completed but the final memory differs from
+	// the oracle — silent data corruption.
+	OutcomeSDC
+	// OutcomeException: a flip escalated into a device-raised exception
+	// that the subsystem caught and reported.
+	OutcomeException
+	// OutcomeCrash: the run aborted with an error outside the exception
+	// and hang taxonomies (kernel abort, emulation failure).
+	OutcomeCrash
+	// OutcomeHang: the run stopped making progress — the timing
+	// watchdog fired, or the functional emulation ran away (instruction
+	// budget or barrier deadlock).
+	OutcomeHang
+	// NumOutcomes bounds the Outcome range for iteration.
+	NumOutcomes
+)
+
+var outcomeNames = [NumOutcomes]string{
+	OutcomeMasked:    "masked",
+	OutcomeSDC:       "sdc",
+	OutcomeException: "exception",
+	OutcomeCrash:     "crash",
+	OutcomeHang:      "hang",
+}
+
+// String returns the outcome's table name.
+func (o Outcome) String() string {
+	if o < NumOutcomes {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}

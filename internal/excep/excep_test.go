@@ -1,0 +1,128 @@
+package excep
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestKindModeOutcomeNames(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+	for m := Mode(0); m < NumModes; m++ {
+		if s := m.String(); s == "" || strings.HasPrefix(s, "Mode(") {
+			t.Errorf("Mode %d has no name", m)
+		}
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		if s := o.String(); s == "" || strings.HasPrefix(s, "Outcome(") {
+			t.Errorf("Outcome %d has no name", o)
+		}
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := &Record{
+		Kind: KindIllegalAddress, Block: 3, Warp: 1, Lane: 7,
+		PC: 12, Mnemonic: "ld.global", Addr: 0x40,
+		Frames: []Frame{{PC: 0, RPC: -1, Mask: 0xffffffff}, {PC: 12, RPC: 14, Mask: 0x80}},
+	}
+	s := r.String()
+	for _, want := range []string{"illegal-address", "pc 12", "block 3 warp 1 lane 7", "address 0x40", "frame 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestErrorAs(t *testing.T) {
+	var err error = &Error{Cycle: 1000, Records: []*Record{{Kind: KindAssert}}}
+	var ee *Error
+	if !errors.As(err, &ee) || ee.Cycle != 1000 {
+		t.Fatalf("errors.As failed on %v", err)
+	}
+	if !strings.Contains(err.Error(), "assert") {
+		t.Errorf("error text %q missing kind", err.Error())
+	}
+}
+
+// TestFlipDeterminism: decisions are a pure function of the site; the
+// same seed yields bit-identical decisions in any query order.
+func TestFlipDeterminism(t *testing.T) {
+	cfg := FlipConfig{Seed: 7, Rate: 0.05}
+	type site struct{ b, w, l, i int32 }
+	sites := []site{}
+	for b := int32(0); b < 4; b++ {
+		for w := int32(0); w < 2; w++ {
+			for l := int32(0); l < 32; l++ {
+				for i := int32(0); i < 50; i++ {
+					sites = append(sites, site{b, w, l, i})
+				}
+			}
+		}
+	}
+	first := map[site]Decision{}
+	hits := 0
+	for _, s := range sites {
+		if d, ok := cfg.At(s.b, s.w, s.l, s.i, int(s.l), s.i%3 == 0); ok {
+			first[s] = d
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("rate 0.05 over 12800 sites produced no flips")
+	}
+	// Reverse order must reproduce the exact same decisions.
+	for j := len(sites) - 1; j >= 0; j-- {
+		s := sites[j]
+		d, ok := cfg.At(s.b, s.w, s.l, s.i, int(s.l), s.i%3 == 0)
+		if prev, had := first[s]; had != ok || (ok && d != prev) {
+			t.Fatalf("site %+v: decision not order-independent", s)
+		}
+	}
+}
+
+func TestFlipProtectThreads(t *testing.T) {
+	cfg := FlipConfig{Seed: 7, Rate: 1, ProtectThreads: 16}
+	for tid := 0; tid < 16; tid++ {
+		if _, ok := cfg.At(0, 0, int32(tid), 0, tid, true); ok {
+			t.Errorf("protected thread %d flipped", tid)
+		}
+	}
+	if _, ok := cfg.At(0, 0, 16, 0, 16, true); !ok {
+		t.Error("unprotected thread did not flip at rate 1")
+	}
+}
+
+func TestFlipTargets(t *testing.T) {
+	cfg := FlipConfig{Seed: 3, Rate: 1}
+	sawAddr := false
+	for i := int32(0); i < 200; i++ {
+		d, ok := cfg.At(0, 0, 0, i, 0, false)
+		if !ok {
+			t.Fatal("rate 1 must always flip")
+		}
+		if d.Target == TargetAddress {
+			t.Fatal("address target on a non-memory instruction")
+		}
+		if d2, _ := cfg.At(0, 0, 0, i, 0, true); d2.Target == TargetAddress {
+			sawAddr = true
+		}
+	}
+	if !sawAddr {
+		t.Error("no address flip in 200 memory sites at rate 1")
+	}
+	if TargetRegister.String() != "register" || TargetPredicate.String() != "predicate" || TargetAddress.String() != "address" {
+		t.Error("target names wrong")
+	}
+}

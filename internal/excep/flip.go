@@ -1,0 +1,113 @@
+package excep
+
+// The bit-flip injector of the resilience campaign. Every injection
+// decision is a pure function of (seed, block, warp, lane, dynamic
+// instruction index): the injector carries no RNG stream, so decisions
+// do not depend on emulation order and a rerun of the same seed flips
+// exactly the same bits — the property the campaign's classification
+// reproducibility rests on.
+
+// FlipConfig parameterizes a seeded bit-flip campaign over
+// architectural state. The zero value injects nothing.
+type FlipConfig struct {
+	// Seed selects the campaign's deterministic flip pattern.
+	Seed int64
+	// Rate is the per-lane-instruction flip probability in [0,1].
+	Rate float64
+	// ProtectThreads shields the first N threads of every block
+	// (in-block linear thread id < N): the partial thread protection
+	// knob of the campaign.
+	ProtectThreads int
+}
+
+// Enabled reports whether the config injects anything.
+func (c FlipConfig) Enabled() bool { return c.Rate > 0 }
+
+// Target says which piece of architectural state a flip corrupts.
+type Target uint8
+
+const (
+	// TargetRegister flips one bit of a source register value.
+	TargetRegister Target = iota
+	// TargetPredicate inverts the lane's participation in the
+	// instruction (its execution-mask bit).
+	TargetPredicate
+	// TargetAddress flips one bit of a memory instruction's effective
+	// address.
+	TargetAddress
+	// NumTargets bounds the Target range.
+	NumTargets
+)
+
+var targetNames = [NumTargets]string{
+	TargetRegister:  "register",
+	TargetPredicate: "predicate",
+	TargetAddress:   "address",
+}
+
+// String returns the target's report name.
+func (t Target) String() string {
+	if t < NumTargets {
+		return targetNames[t]
+	}
+	return "Target(?)"
+}
+
+// Decision is one flip to apply at a site.
+type Decision struct {
+	Target Target
+	// Src selects which of the instruction's source operands to
+	// corrupt (TargetRegister; modulo the number present).
+	Src uint8
+	// Bit is the bit position to flip (modulo the state's width).
+	Bit uint8
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// siteHash derives the site's 64 decision bits from the campaign seed
+// and the site coordinates.
+func siteHash(seed int64, block, warp, lane, inst int32) uint64 {
+	h := mix64(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	h = mix64(h ^ uint64(uint32(block)))
+	h = mix64(h ^ uint64(uint32(warp))<<32 ^ uint64(uint32(lane)))
+	h = mix64(h ^ uint64(uint32(inst)))
+	return h
+}
+
+// At decides whether to flip at the site and, if so, what. inst is the
+// lane's dynamic instruction index within the warp; memOp widens the
+// target set to addresses. Protected threads never flip: the caller
+// passes tid, the lane's in-block linear thread id.
+func (c FlipConfig) At(block, warp, lane, inst int32, tid int, memOp bool) (Decision, bool) {
+	if c.Rate <= 0 || tid < c.ProtectThreads {
+		return Decision{}, false
+	}
+	h := siteHash(c.Seed, block, warp, lane, inst)
+	// The top 32 bits gate the flip against the rate; the low bits pick
+	// the target, operand and bit position.
+	threshold := uint64(c.Rate * float64(1<<32))
+	if threshold > 1<<32 {
+		threshold = 1 << 32
+	}
+	if h>>32 >= threshold {
+		return Decision{}, false
+	}
+	targets := uint64(NumTargets)
+	if !memOp {
+		targets-- // TargetAddress only applies to memory instructions
+	}
+	return Decision{
+		Target: Target(h % targets),
+		Src:    uint8((h >> 8) & 0xff),
+		Bit:    uint8((h >> 16) & 0x3f),
+	}, true
+}

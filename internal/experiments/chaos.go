@@ -79,7 +79,33 @@ func Chaos(opt Options) (*Result, error) {
 					return cr.Cycles, nil
 				}
 
-				clean, err := run(nil)
+				// The oracle check needs the full memory trajectory, so
+				// each half runs whole; done-files make a killed sweep
+				// resume at clean/chaos-run granularity.
+				resumable := func(suffix string, plan *chaos.Plan) (int64, error) {
+					j := runJob{bench: bench, col: col + "-" + suffix}
+					if opt.ResumeDir != "" {
+						if cycles, ok := readDone(opt, "chaos", j); ok {
+							if opt.Progress != nil {
+								opt.Progress(fmt.Sprintf("%-14s %-14s %12d cycles (done, skipped)",
+									bench, j.col, cycles))
+							}
+							return cycles, nil
+						}
+					}
+					cycles, err := run(plan)
+					if err != nil {
+						return 0, err
+					}
+					if opt.ResumeDir != "" {
+						if err := writeDone(opt, "chaos", j, cycles); err != nil {
+							return 0, fmt.Errorf("recording completion: %w", err)
+						}
+					}
+					return cycles, nil
+				}
+
+				clean, err := resumable("clean", nil)
 				if err != nil {
 					results <- cell{bench, col, 0, fmt.Errorf("%s/%s clean: %w", bench, col, err)}
 					return
@@ -89,7 +115,7 @@ func Chaos(opt Options) (*Result, error) {
 					results <- cell{bench, col, 0, err}
 					return
 				}
-				stormy, err := run(plan)
+				stormy, err := resumable("chaos", plan)
 				if err != nil {
 					results <- cell{bench, col, 0, fmt.Errorf("%s/%s chaos: %w", bench, col, err)}
 					return

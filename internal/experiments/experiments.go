@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"gpues/internal/config"
+	"gpues/internal/excep"
 	"gpues/internal/obs"
 	"gpues/internal/sim"
 	"gpues/internal/workloads"
@@ -45,12 +46,33 @@ type Options struct {
 	// <fig>-<bench>-<col>.done.json (skipped on the next invocation),
 	// and in-flight runs checkpoint periodically into
 	// <fig>-<bench>-<col>.ckpts and resume from the latest checkpoint.
-	// The chaos sweep is exempt: its oracle check needs the full run's
-	// memory trajectory, so it always runs whole.
+	// The chaos sweep resumes at cell granularity only: its oracle
+	// check needs the full run's memory trajectory, so each clean or
+	// chaos run executes whole, but finished halves record done-files
+	// (as chaos-<bench>-<scheme>-{clean,chaos}.done.json) and are
+	// skipped when a killed sweep is re-invoked.
 	ResumeDir string
 	// CheckpointEvery is the in-flight checkpoint period in cycles when
 	// ResumeDir is set (0 = a sensible default).
 	CheckpointEvery int64
+	// Trials is the seeded trial count per resilience-campaign cell
+	// (0 = the campaign default; other sweeps ignore it).
+	Trials int
+	// FlipSeed, when non-zero, pins the resilience campaign's base seed
+	// for every cell (CI pinning); 0 derives a stable one per cell.
+	FlipSeed int64
+	// FlipRate, when positive, overrides the resilience campaign's flip
+	// probability.
+	FlipRate float64
+	// ProtectPin, when set, replaces the resilience campaign's
+	// protection ladder with the single absolute per-block thread count
+	// in ProtectThreads.
+	ProtectPin     bool
+	ProtectThreads int
+	// ExcepMode is the exception delivery mode during resilience trials
+	// (the zero value is precise; preemptible switches trials to the
+	// replay-queue scheme).
+	ExcepMode excep.Mode
 }
 
 // defaultCheckpointEvery is the in-flight checkpoint period when

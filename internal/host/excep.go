@@ -1,0 +1,147 @@
+package host
+
+import (
+	"gpues/internal/ckpt"
+	"gpues/internal/clock"
+	"gpues/internal/excep"
+)
+
+// DefaultExcepPollEvery is the host's exception-flag polling period in
+// cycles when the configuration does not choose one. It models the
+// granularity at which the driver inspects the host-mapped exception
+// flag between API calls.
+const DefaultExcepPollEvery = 1024
+
+// ExcepBoard is the host-mapped exception flag plus the record area
+// behind it: SMs post device-raised exception records (sm.ExcepSink),
+// and the driver observes them at its next poll boundary — the first
+// multiple of the polling period after the first record posted. The
+// poll boundary is a pure function of the first post cycle, so the
+// cycle a run terminates at is deterministic and seed-stable.
+type ExcepBoard struct {
+	q         *clock.Queue
+	pollEvery int64
+
+	// firstPosted is the cycle of the first posted record (-1 when the
+	// board is clean); records accumulate in post order.
+	firstPosted int64
+	records     []*excep.Record
+}
+
+// NewExcepBoard builds a board polled every pollEvery cycles
+// (0 or negative selects DefaultExcepPollEvery).
+func NewExcepBoard(q *clock.Queue, pollEvery int64) *ExcepBoard {
+	if pollEvery <= 0 {
+		pollEvery = DefaultExcepPollEvery
+	}
+	return &ExcepBoard{q: q, pollEvery: pollEvery, firstPosted: -1}
+}
+
+// PostExcep implements sm.ExcepSink: it latches the record and, on the
+// first post, schedules a no-op clock event at the poll boundary so an
+// otherwise-quiescent simulation still advances to the cycle at which
+// the host observes the flag.
+func (b *ExcepBoard) PostExcep(now int64, r *excep.Record) {
+	if b.firstPosted < 0 {
+		b.firstPosted = now
+		b.q.At(b.Boundary(), func() {})
+	}
+	b.records = append(b.records, r)
+}
+
+// Boundary returns the cycle at which the host will observe the posted
+// records, or -1 when the board is clean.
+func (b *ExcepBoard) Boundary() int64 {
+	if b.firstPosted < 0 {
+		return -1
+	}
+	return (b.firstPosted/b.pollEvery + 1) * b.pollEvery
+}
+
+// Pending returns the number of posted, not-yet-observed records.
+func (b *ExcepBoard) Pending() int { return len(b.records) }
+
+// Poll is the driver's periodic flag check: it returns the structured
+// exception error once the clock has reached the poll boundary, nil
+// before that (or when the board is clean).
+func (b *ExcepBoard) Poll(now int64) *excep.Error {
+	if len(b.records) == 0 || now < b.Boundary() {
+		return nil
+	}
+	return &excep.Error{Cycle: now, Records: b.records}
+}
+
+// Drain is the launch-completion API call: any posted record is
+// observed immediately, poll boundary or not.
+func (b *ExcepBoard) Drain(now int64) *excep.Error {
+	if len(b.records) == 0 {
+		return nil
+	}
+	return &excep.Error{Cycle: now, Records: b.records}
+}
+
+// SaveState serializes the board: the first-post cycle and the full
+// record contents (records are plain data, rebuilt verbatim on
+// restore).
+func (b *ExcepBoard) SaveState(w *ckpt.Writer) {
+	w.I64(b.firstPosted)
+	w.Int(len(b.records))
+	for _, r := range b.records {
+		w.U64(uint64(r.Kind))
+		w.U64(uint64(uint32(r.Block)))
+		w.U64(uint64(uint32(r.Warp)))
+		w.U64(uint64(uint32(r.Lane)))
+		w.U64(uint64(uint32(r.PC)))
+		w.String(r.Mnemonic)
+		w.U64(r.Addr)
+		w.String(r.Detail)
+		w.Int(len(r.Frames))
+		for _, f := range r.Frames {
+			w.U64(uint64(uint32(f.PC)))
+			w.U64(uint64(uint32(f.RPC)))
+			w.U32(f.Mask)
+		}
+	}
+}
+
+// RestoreState reads the SaveState stream back and installs it. The
+// replay that precedes installation re-posts identical records (and
+// re-schedules the boundary event), so installation only swaps in
+// byte-identical state.
+func (b *ExcepBoard) RestoreState(r *ckpt.Reader) error {
+	b.firstPosted = r.I64()
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	records := make([]*excep.Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec := &excep.Record{
+			Kind:     excep.Kind(r.U64()),
+			Block:    int32(uint32(r.U64())),
+			Warp:     int32(uint32(r.U64())),
+			Lane:     int32(uint32(r.U64())),
+			PC:       int32(uint32(r.U64())),
+			Mnemonic: r.String(),
+			Addr:     r.U64(),
+			Detail:   r.String(),
+		}
+		nf := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		for j := 0; j < nf; j++ {
+			rec.Frames = append(rec.Frames, excep.Frame{
+				PC:   int32(uint32(r.U64())),
+				RPC:  int32(uint32(r.U64())),
+				Mask: r.U32(),
+			})
+		}
+		records = append(records, rec)
+	}
+	if len(records) == 0 {
+		records = nil
+	}
+	b.records = records
+	return r.Err()
+}

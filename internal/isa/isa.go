@@ -101,6 +101,14 @@ const (
 	OpBar  // block-wide barrier
 	OpExit // thread exit
 
+	// Exception support (math units; see internal/excep). An assert
+	// whose condition holds and a malloc that succeeds execute like
+	// plain ALU instructions; the failing cases raise a device
+	// exception in the emulator and never reach the timing pipeline.
+	OpAssert // raise KindAssert on lanes where Ra == 0; Imm is the assert id
+	OpTrap   // raise KindTrap on any active lane; Imm is the trap code
+	OpMalloc // Rd = device-heap alloc of Ra (or Imm) bytes; OOM raises KindDeviceOOM
+
 	opCount
 )
 
@@ -348,6 +356,7 @@ var mnemonics = [...]string{
 	OpLdGlobal: "ld.global", OpStGlobal: "st.global", OpAtomGlobal: "atom.global",
 	OpLdShared: "ld.shared", OpStShared: "st.shared",
 	OpBra: "bra", OpBar: "bar.sync", OpExit: "exit",
+	OpAssert: "assert", OpTrap: "trap", OpMalloc: "malloc",
 }
 
 // String disassembles the instruction.

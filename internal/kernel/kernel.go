@@ -95,6 +95,12 @@ type Launch struct {
 	Kernel *Kernel
 	Grid   Dim3
 	Block  Dim3
+
+	// HeapBase and HeapBytes describe the device-malloc heap backing
+	// OpMalloc (zero = no heap; any malloc then raises device-OOM).
+	// Workloads place the heap inside a reserved memory region.
+	HeapBase  uint64
+	HeapBytes uint64
 }
 
 // Blocks returns the number of thread blocks in the launch.
@@ -429,6 +435,45 @@ func (b *Builder) LdShared(d, a isa.Reg, imm int64, size int) *Builder {
 func (b *Builder) StShared(a isa.Reg, imm int64, v isa.Reg, size int) *Builder {
 	in := isa.NewInstruction(isa.OpStShared)
 	in.SrcA, in.SrcB, in.Imm, in.Size = a, v, imm, uint8(size)
+	return b.emit(in)
+}
+
+// Assert emits a device-side assertion: lanes where cond is zero raise
+// a KindAssert exception. id tags the assertion in the report.
+func (b *Builder) Assert(cond isa.Reg, id int64) *Builder {
+	in := isa.NewInstruction(isa.OpAssert)
+	in.SrcA, in.Imm = cond, id
+	return b.emit(in)
+}
+
+// Trap emits an unconditional trap: any active lane raises a KindTrap
+// exception with the given code. Predicate with Emit-style Pred fields
+// via TrapIf for conditional traps.
+func (b *Builder) Trap(code int64) *Builder {
+	in := isa.NewInstruction(isa.OpTrap)
+	in.Imm = code
+	return b.emit(in)
+}
+
+// TrapIf emits a trap taken by lanes where pred is non-zero (inverted
+// when neg).
+func (b *Builder) TrapIf(pred isa.Reg, neg bool, code int64) *Builder {
+	in := isa.NewInstruction(isa.OpTrap)
+	in.Pred, in.PredNeg, in.Imm = pred, neg, code
+	return b.emit(in)
+}
+
+// Malloc emits d = device-heap allocation of size bytes per lane
+// (size from register a, or the imm bytes when a is RZ). Exhausting
+// the heap raises a KindDeviceOOM exception.
+func (b *Builder) Malloc(d, a isa.Reg, imm int64) *Builder {
+	in := isa.NewInstruction(isa.OpMalloc)
+	if a == isa.RegNone {
+		// Normalize the immediate form to RZ so listings round-trip
+		// exactly (the assembler writes RZ for "malloc rD, #size").
+		a = isa.RZ
+	}
+	in.Dst, in.SrcA, in.Imm = d, a, imm
 	return b.emit(in)
 }
 

@@ -58,6 +58,9 @@ const (
 	KLocalStart   // GPU-local handler accepted a region; A=region, B=slot wait
 	KLocalEnd     // GPU-local handler mapped the region; A=region
 
+	// Device exceptions.
+	KExcep // exception record delivered to the host; A=excep kind, B=block id
+
 	NumKinds
 )
 
@@ -84,6 +87,7 @@ var kindNames = [NumKinds]string{
 	KMigrateEnd:     "migrate-end",
 	KLocalStart:     "local-start",
 	KLocalEnd:       "local-end",
+	KExcep:          "excep",
 }
 
 // String returns the kebab-case event name used by the exports and the
@@ -118,6 +122,7 @@ var filterGroups = map[string]uint64{
 	"switch":  mask(KSwitchOut, KSaveStart, KSaveEnd, KRestoreStart, KRestoreEnd),
 	"migrate": mask(KMigrateStart, KMigrateEnd),
 	"local":   mask(KLocalStart, KLocalEnd),
+	"excep":   mask(KExcep),
 }
 
 // ParseFilter turns a comma-separated list of group names (pipeline,
@@ -156,7 +161,7 @@ func ParseFilter(s string) (uint64, error) {
 
 // FilterNames lists the group names ParseFilter accepts.
 func FilterNames() []string {
-	return []string{"all", "pipeline", "stall", "fault", "replay", "switch", "migrate", "local"}
+	return []string{"all", "pipeline", "stall", "fault", "replay", "switch", "migrate", "local", "excep"}
 }
 
 // Event is one trace record. SM is -1 for system-level components (the

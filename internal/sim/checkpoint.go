@@ -35,6 +35,7 @@ func (s *Simulator) saverList() []namedSaver {
 		{"clock", s.q},
 		{"host.dispatcher", s.disp},
 		{"host.faultservice", s.cpu},
+		{"host.excep", s.board},
 		{"core.faultunit", s.funit},
 		{"vm", s.as},
 		{"emu.memory", s.spec.Memory},

@@ -53,6 +53,13 @@ type Result struct {
 	// InjectedFaults counts walk faults a chaos plan injected (included
 	// in WalkFaults).
 	InjectedFaults int64
+	// Exceptions counts device-exception records delivered to the host
+	// exception board (a completed run can carry a nonzero count only
+	// when the board drained after the grid finished).
+	Exceptions int64
+	// Flips counts architectural bit flips the resilience campaign
+	// injected during functional emulation.
+	Flips int64
 	// Derived totals.
 	Committed int64
 	Blocks    int
@@ -85,6 +92,7 @@ type Simulator struct {
 	q      *clock.Queue
 	as     *vm.AddressSpace
 	emul   *emu.Emulator
+	board  *host.ExcepBoard
 	disp   *host.Dispatcher
 	fu     *tlb.FillUnit
 	l2tlb  *tlb.TLB
@@ -268,10 +276,14 @@ func New(cfg config.Config, spec LaunchSpec) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.emul.ConfigureFlips(cfg.Excep.Flip)
+	s.emul.AddrValid = regionChecker(spec.Regions)
 	s.disp, err = host.NewDispatcher(spec.Launch.Blocks(), s.emul.EmulateBlock)
 	if err != nil {
 		return nil, err
 	}
+	// Host-mapped exception flag, polled at API-call granularity.
+	s.board = host.NewExcepBoard(s.q, cfg.Excep.PollEvery)
 
 	// SMs with private L1 cache and TLB.
 	s.sms = make([]*sm.SM, cfg.System.NumSMs)
@@ -298,6 +310,7 @@ func New(cfg config.Config, spec LaunchSpec) (*Simulator, error) {
 			return nil, err
 		}
 		s.sms[i] = sm.New(i, &s.cfg, s.q, l1, l1tlb, s.funit, s.disp, contextMover{s.mem})
+		s.sms[i].SetExcepSink(s.board)
 		s.l1s = append(s.l1s, l1)
 		s.l1tlbs = append(s.l1tlbs, l1tlb)
 	}
@@ -346,7 +359,10 @@ func (s *Simulator) registerMetrics() {
 			return t
 		}
 	}
+	s.reg.Gauge("excep.pending", func() int64 { return int64(s.board.Pending()) })
+	s.reg.Gauge("emu.flips", s.emul.Flips)
 	s.reg.Gauge("sm.committed", smSum(func(st sm.Stats) int64 { return st.Committed }))
+	s.reg.Gauge("sm.exceptions", smSum(func(st sm.Stats) int64 { return st.Exceptions }))
 	s.reg.Gauge("sm.faults", smSum(func(st sm.Stats) int64 { return st.Faults }))
 	s.reg.Gauge("sm.squashed", smSum(func(st sm.Stats) int64 { return st.Squashed }))
 	s.reg.Gauge("sm.replays", smSum(func(st sm.Stats) int64 { return st.Replays }))
@@ -518,6 +534,12 @@ func (s *Simulator) Run() (*Result, error) {
 	if err := s.firstError(); err != nil {
 		return nil, err
 	}
+	// Launch completion is an API-call boundary: any exception posted
+	// after the last in-loop poll is observed now, so a precise-mode
+	// exception surfaces even when the rest of the grid finished first.
+	if e := s.board.Drain(s.q.Now()); e != nil {
+		return nil, e
+	}
 	if s.chaos != nil {
 		// End-of-run sweep: a run that completes while violating a
 		// structural invariant has silently corrupted its statistics.
@@ -553,6 +575,9 @@ func (s *Simulator) finished() bool {
 func (s *Simulator) firstError() error {
 	if err := s.disp.Err(); err != nil {
 		return err
+	}
+	if e := s.board.Poll(s.q.Now()); e != nil {
+		return e
 	}
 	if err := s.funit.Err(); err != nil {
 		return err
@@ -590,8 +615,10 @@ func (s *Simulator) collect() *Result {
 		st := m.Stats()
 		r.SMs = append(r.SMs, st)
 		r.Committed += st.Committed
+		r.Exceptions += st.Exceptions
 		r.Stalls.Add(st.Stalls)
 	}
+	r.Flips = s.emul.Flips()
 	r.Metrics = s.reg.Snapshot()
 	if len(s.sms) > 0 {
 		sum := 0

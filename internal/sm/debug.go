@@ -62,7 +62,9 @@ type BlockSnapshot struct {
 	BarrierCount  int
 	LogUsed       int
 	PendingFaults int
-	Warps         []WarpSnapshot
+	// Excepted marks a block squashed by preemptible exception delivery.
+	Excepted bool
+	Warps    []WarpSnapshot
 }
 
 // Snapshot is the diagnostic state of one SM, captured for stall
@@ -85,6 +87,9 @@ func (s Snapshot) String() string {
 	for _, blk := range s.Blocks {
 		fmt.Fprintf(&b, "\n  block %d [%s] slot=%d live=%d barrier=%d log=%d faults=%d",
 			blk.ID, blk.State, blk.Slot, blk.LiveWarps, blk.BarrierCount, blk.LogUsed, blk.PendingFaults)
+		if blk.Excepted {
+			b.WriteString(" excepted")
+		}
 		for _, w := range blk.Warps {
 			if w.Done {
 				continue
@@ -121,6 +126,7 @@ func snapshotBlock(b *blockRT) BlockSnapshot {
 		BarrierCount:  b.barrierCount,
 		LogUsed:       b.logUsed,
 		PendingFaults: b.pendingFaults,
+		Excepted:      b.excepted,
 	}
 	for _, w := range b.warps {
 		bs.Warps = append(bs.Warps, snapshotWarp(w))

@@ -49,7 +49,7 @@ func (s *SM) maybeSwitchOut(b *blockRT, queuePos int) {
 // block budget.
 func (s *SM) hasWorkToSwitchIn() bool {
 	for _, ob := range s.offchip {
-		if ob.state == blockOffChip && ob.pendingFaults == 0 {
+		if ob.state == blockOffChip && ob.pendingFaults == 0 && !ob.excepted {
 			return true
 		}
 	}
@@ -151,7 +151,7 @@ func (s *SM) restoreReadyBlock(slot int) bool {
 	}
 	idx := -1
 	for i, ob := range s.offchip {
-		if ob.state == blockOffChip && ob.pendingFaults == 0 {
+		if ob.state == blockOffChip && ob.pendingFaults == 0 && !ob.excepted {
 			idx = i
 			break
 		}

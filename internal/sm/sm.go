@@ -7,6 +7,7 @@ import (
 	"gpues/internal/clock"
 	"gpues/internal/config"
 	"gpues/internal/emu"
+	"gpues/internal/excep"
 	"gpues/internal/isa"
 	"gpues/internal/kernel"
 	"gpues/internal/obs"
@@ -43,6 +44,15 @@ type ContextMover interface {
 	Move(bytes int, done func())
 }
 
+// ExcepSink receives device-raised exception records once the timing
+// layer delivers them; the host exception board (internal/host)
+// implements it by latching the record behind the host-mapped
+// exception flag that the driver polls at API-call granularity.
+type ExcepSink interface {
+	// PostExcep publishes one exception record at the given cycle.
+	PostExcep(now int64, r *excep.Record)
+}
+
 // Chaos is the SM's fault-injection hook (internal/chaos implements
 // it): StallIssue may artificially hold back an issuable global-memory
 // instruction for a cycle (operand-log / replay-queue back-pressure);
@@ -55,20 +65,23 @@ type Chaos interface {
 
 // Stats counts SM activity.
 type Stats struct {
-	Cycles          int64
-	ActiveCycles    int64 // cycles with at least one fetch or issue
-	Committed       int64
-	Issued          int64
-	Fetched         int64
-	GlobalMemInsts  int64
-	MemRequests     int64
-	Faults          int64
-	Squashed        int64
-	Replays         int64
-	BlocksRun       int64
-	SwitchesOut     int64
-	SwitchesIn      int64
-	ContextBytes    int64
+	Cycles         int64
+	ActiveCycles   int64 // cycles with at least one fetch or issue
+	Committed      int64
+	Issued         int64
+	Fetched        int64
+	GlobalMemInsts int64
+	MemRequests    int64
+	Faults         int64
+	Squashed       int64
+	Replays        int64
+	BlocksRun      int64
+	SwitchesOut    int64
+	SwitchesIn     int64
+	ContextBytes   int64
+	// Exceptions counts device-exception records this SM delivered to
+	// the host exception board.
+	Exceptions      int64
 	IssueStallLog   int64 // operand log full
 	IssueStallScore int64 // scoreboard hazard
 	IssueStallChaos int64 // injected back-pressure (chaos plans)
@@ -102,6 +115,10 @@ type blockRT struct {
 	logUsed       int // operand log entries in use
 	pendingFaults int // unresolved faults across its warps
 	contextBytes  int
+	// excepted marks a block squashed by preemptible exception
+	// delivery: it drains, saves off-chip, and is never restored or
+	// finished — the host terminates the launch at its next poll.
+	excepted bool
 	// switchOutStart is the cycle the block began draining for a switch
 	// (off-chip stall attribution).
 	switchOutStart int64
@@ -119,6 +136,7 @@ type SM struct {
 	src   BlockSource
 	mover ContextMover
 	chaos Chaos
+	excep ExcepSink
 
 	launch        *kernel.Launch
 	occupancy     int // concurrent blocks this kernel supports
@@ -233,6 +251,9 @@ func (s *SM) Stats() Stats { return s.stats }
 // SetChaos installs the fault-injection hook; nil removes it.
 func (s *SM) SetChaos(c Chaos) { s.chaos = c }
 
+// SetExcepSink installs the device-exception sink; nil removes it.
+func (s *SM) SetExcepSink(e ExcepSink) { s.excep = e }
+
 // PrepareLaunch sizes the SM for a kernel launch: computes occupancy,
 // partitions the operand log among the resident blocks (Section 3.3),
 // and derives the per-block context size used by the switching cost
@@ -305,6 +326,7 @@ func (s *SM) activateBlock(slot int, bt *emu.BlockTrace) {
 			block: b,
 			idx:   i,
 			trace: bt.Warps[i].Insts,
+			excep: bt.Warps[i].Excep,
 		}
 		if len(w.trace) == 0 {
 			w.done = true
@@ -322,9 +344,56 @@ func (s *SM) activateBlock(slot int, bt *emu.BlockTrace) {
 	s.assigned++
 	s.stats.BlocksRun++
 	s.wake()
-	if b.liveWarps == 0 {
+	// A warp that faulted before executing any instruction has an empty
+	// trace: it is born done and its exception delivers at activation.
+	for _, w := range b.warps {
+		if w.done && w.excep != nil {
+			s.deliverExcep(w)
+		}
+	}
+	if b.liveWarps == 0 && !b.excepted {
 		s.blockFinished(b)
 	}
+}
+
+// deliverExcep posts a drained warp's pending exception record to the
+// host exception board. Precise delivery stops there: the offending
+// warp is dead (its truncated trace — outstanding replays included —
+// has fully drained and committed, so every older instruction's
+// effects are architecturally visible) and the rest of the machine
+// runs on until the host polls the exception flag. Preemptible
+// delivery additionally squashes the offending block through the
+// block-switch path: the block drains, saves its context off-chip via
+// the paper's SM-state save machinery, and is never restored.
+func (s *SM) deliverExcep(w *warpRT) {
+	if w.excep == nil || w.excepDone {
+		return
+	}
+	w.excepDone = true
+	s.stats.Exceptions++
+	if s.tr != nil {
+		s.tr.Emit(s.ID, obs.KExcep, s.warpID(w), uint64(w.excep.Kind), uint64(w.block.id))
+	}
+	if s.excep != nil {
+		s.excep.PostExcep(s.q.Now(), w.excep)
+	}
+	if s.cfg.Excep.Mode != excep.ModePreemptible {
+		return
+	}
+	b := w.block
+	b.excepted = true
+	if b.state != blockActive {
+		// Already draining or off-chip (a fault-driven switch raced the
+		// delivery); the excepted mark keeps it from ever restoring.
+		return
+	}
+	b.state = blockDraining
+	b.switchOutStart = s.q.Now()
+	s.stats.SwitchesOut++
+	if s.tr != nil {
+		s.tr.Emit(s.ID, obs.KSwitchOut, s.blockTID(b), uint64(b.id), 0)
+	}
+	s.afterDrainStep(b)
 }
 
 // newFlight takes a flight from the pool (or builds one, wiring its
@@ -751,7 +820,16 @@ func (s *SM) checkWarpDone(w *warpRT) {
 	}
 	w.done = true
 	b := w.block
+	if w.excep != nil {
+		s.deliverExcep(w)
+	}
 	b.liveWarps--
+	if b.excepted {
+		// The block is being squashed: it never finishes, and warps
+		// parked at its barriers stay parked (barrier unit state is
+		// saved as part of the context).
+		return
+	}
 	// A warp that exits while others wait at a barrier can release it.
 	if b.liveWarps > 0 && b.barrierCount >= b.liveWarps {
 		s.releaseBarrier(b)

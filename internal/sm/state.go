@@ -32,6 +32,7 @@ func (s *SM) SaveState(w *ckpt.Writer) {
 	w.I64(s.stats.IssueStallLog)
 	w.I64(s.stats.IssueStallScore)
 	w.I64(s.stats.IssueStallChaos)
+	w.I64(s.stats.Exceptions)
 	for _, v := range s.stats.Stalls {
 		w.I64(v)
 	}
@@ -70,6 +71,7 @@ func saveBlock(w *ckpt.Writer, b *blockRT) {
 	w.Int(b.pendingFaults)
 	w.Int(b.contextBytes)
 	w.I64(b.switchOutStart)
+	w.Bool(b.excepted)
 	w.Int(len(b.warps))
 	for _, wr := range b.warps {
 		saveWarp(w, wr)
@@ -99,6 +101,8 @@ func saveWarp(w *ckpt.Writer, wr *warpRT) {
 	w.Bool(wr.barFlight != nil)
 	w.Int(wr.faultsOutstanding)
 	w.Bool(wr.done)
+	w.Bool(wr.excep != nil)
+	w.Bool(wr.excepDone)
 	w.I64(wr.faultWaitStart)
 	w.I64(wr.barStart)
 	w.I64(wr.fetchBlockStart)
@@ -141,6 +145,7 @@ func (s *SM) RestoreState(r *ckpt.Reader) error {
 	s.stats.IssueStallLog = r.I64()
 	s.stats.IssueStallScore = r.I64()
 	s.stats.IssueStallChaos = r.I64()
+	s.stats.Exceptions = r.I64()
 	for i := range s.stats.Stalls {
 		s.stats.Stalls[i] = r.I64()
 	}
@@ -202,12 +207,13 @@ func skipBlock(r *ckpt.Reader, b *blockRT) error {
 	id := r.Int()
 	r.Int() // slot
 	state := blockState(r.U64())
-	r.Int() // liveWarps
-	r.Int() // barrierCount
-	r.Int() // logUsed
-	r.Int() // pendingFaults
-	r.Int() // contextBytes
-	r.I64() // switchOutStart
+	r.Int()  // liveWarps
+	r.Int()  // barrierCount
+	r.Int()  // logUsed
+	r.Int()  // pendingFaults
+	r.Int()  // contextBytes
+	r.I64()  // switchOutStart
+	r.Bool() // excepted
 	nw := r.Int()
 	if err := r.Err(); err != nil {
 		return err
@@ -256,6 +262,8 @@ func skipWarp(r *ckpt.Reader, wr *warpRT) error {
 	r.Bool()  // barFlight present
 	r.Int()   // faultsOutstanding
 	r.Bool()  // done
+	r.Bool()  // excep present
+	r.Bool()  // excepDone
 	r.I64()   // faultWaitStart
 	r.I64()   // barStart
 	r.I64()   // fetchBlockStart

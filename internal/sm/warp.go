@@ -14,6 +14,7 @@ package sm
 
 import (
 	"gpues/internal/emu"
+	"gpues/internal/excep"
 	"gpues/internal/isa"
 	"gpues/internal/tlb"
 	"gpues/internal/vm"
@@ -69,6 +70,13 @@ type warpRT struct {
 	barFlight         *flight
 	faultsOutstanding int
 	done              bool
+
+	// excep, when set, is the device exception the warp raised during
+	// emulation: its trace ends just before the faulting instruction,
+	// so the record is delivered once the warp drains (see deliverExcep).
+	// excepDone marks that delivery has happened.
+	excep     *excep.Record
+	excepDone bool
 
 	// Stall-attribution interval starts (cycle stamps): when the warp
 	// last entered fault wait / parked at a barrier / had fetch blocked.

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"gpues/internal/gpualloc"
+	"gpues/internal/isa"
+	"gpues/internal/kernel"
+	"gpues/internal/sim"
+)
+
+// Exception demo workloads (suite "excep"): small kernels whose whole
+// point is to raise a device exception deterministically. They back the
+// documentation examples and the CI golden-stack-trace comparison, and
+// are deliberately not part of any figure suite.
+
+func init() {
+	register(Workload{
+		Name:        "assert-demo",
+		Suite:       "excep",
+		Description: "device assert fails for one global thread id inside a divergent branch (deterministic stack trace)",
+		Build:       buildAssertDemo,
+	})
+	register(Workload{
+		Name:        "oom-demo",
+		Suite:       "excep",
+		Description: "device mallocs outgrow a 1 MiB heap, raising a deterministic device-malloc OOM",
+		Build:       buildOOMDemo,
+	})
+}
+
+// assertDemoFailGid is the one global thread id whose assert fails: it
+// sits mid-warp in the second block, so the report shows a non-zero
+// block, warp and lane.
+const assertDemoFailGid = 70
+
+// buildAssertDemo emits a kernel where every thread writes its gid,
+// then lanes in the lower half of each warp take a divergent branch
+// whose body asserts gid != assertDemoFailGid. Thread 70 (block 1,
+// warp 0, lane 6) is in the lower half, so the assert fires two
+// reconvergence frames deep — a stable, documented stack trace.
+func buildAssertDemo(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	blocks := 4 * p.Scale
+	const threads = 64
+
+	c := newBuildCtx(p.Seed)
+	out := c.buffer("out", blocks*threads*8, p.Placement.Outputs)
+
+	b := kernel.NewBuilder("assert-demo")
+	pOut := b.AddParam(out)
+	gid := emitGlobalTID(b)
+	addr := b.Reg()
+	base := b.Reg()
+	lane := b.Reg()
+	half := b.Reg()
+	cond := b.Reg()
+	b.Shl(addr, gid, 3)
+	b.LoadParam(base, pOut)
+	b.IAdd(addr, addr, base, 0)
+	b.StGlobal(addr, 0, gid, 8)
+	// Divergence: lanes with (gid & 31) < 16 take the checked path.
+	b.And(lane, gid, isa.RZ, 31)
+	b.SetP(isa.CmpLT, half, lane, isa.RZ, 16)
+	thenL, recon := b.NewLabel(), b.NewLabel()
+	b.BraIf(half, false, thenL, recon)
+	b.Bra(recon) // upper half: nothing to check
+	b.Bind(thenL)
+	b.SetP(isa.CmpNE, cond, gid, isa.RZ, assertDemoFailGid)
+	b.Assert(cond, 7)
+	b.StGlobal(addr, 0, cond, 8) // survivors overwrite gid with 1
+	b.Bind(recon)
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{Kernel: k, Grid: kernel.Dim3{X: blocks}, Block: kernel.Dim3{X: threads}}
+	return c.spec(l), nil
+}
+
+// buildOOMDemo emits a kernel where every lane device-mallocs 64 KiB
+// and fills the chunk's first line; a 1 MiB heap holds at most 16 such
+// chunks, so with 64 threads the heap deterministically exhausts and
+// the failing lane raises a device-malloc OOM.
+func buildOOMDemo(p Params) (sim.LaunchSpec, error) {
+	p = p.normalize()
+	const (
+		threads   = 64
+		chunk     = 64 * 1024
+		heapBytes = gpualloc.SuperblockSize // 1 MiB
+	)
+
+	c := newBuildCtx(p.Seed)
+	// The device heap must be superblock (1 MiB) aligned; buffer() only
+	// guarantees the 64 KiB region granularity, so round up first.
+	c.next = (c.next + gpualloc.SuperblockSize - 1) &^ (gpualloc.SuperblockSize - 1)
+	heapBase := c.buffer("heap", heapBytes, p.Placement.Outputs)
+	out := c.buffer("out", threads*8, p.Placement.Outputs)
+
+	b := kernel.NewBuilder("oom-demo")
+	pOut := b.AddParam(out)
+	gid := emitGlobalTID(b)
+	addr := b.Reg()
+	base := b.Reg()
+	ptr := b.Reg()
+	b.Shl(addr, gid, 3)
+	b.LoadParam(base, pOut)
+	b.IAdd(addr, addr, base, 0)
+	b.StGlobal(addr, 0, gid, 8)
+	b.Malloc(ptr, isa.RegNone, chunk)
+	b.StGlobal(ptr, 0, gid, 8)
+	b.Exit()
+
+	k, err := b.Build()
+	if err != nil {
+		return sim.LaunchSpec{}, err
+	}
+	l := &kernel.Launch{
+		Kernel: k, Grid: kernel.Dim3{X: 1}, Block: kernel.Dim3{X: threads},
+		HeapBase: heapBase, HeapBytes: heapBytes,
+	}
+	return c.spec(l), nil
+}
