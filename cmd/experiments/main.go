@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"gpues"
@@ -39,6 +40,7 @@ func main() {
 		flipSeed  = flag.Int64("flip-seed", 0, "pin the resilience campaign's base flip seed (0 = derive one per cell)")
 		flipRate  = flag.Float64("flip-rate", 0, "override the resilience campaign's flip probability in [0,1] (0 = default)")
 		protectN  = flag.Int("protect-threads", -1, "pin the resilience campaign's protection to N threads per block (-1 = sweep the built-in ladder)")
+		workers   = flag.Int("workers", 1, "tick-phase worker goroutines per simulation (1 = sequential; any count is bit-identical; composes with -j)")
 	)
 	flag.Parse()
 
@@ -67,6 +69,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-trials %d must be non-negative\n", *trials)
 		os.Exit(2)
 	}
+	if *workers < 1 || *workers > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr, "-workers %d out of range [1,%d] (NumCPU)\n", *workers, runtime.NumCPU())
+		os.Exit(2)
+	}
 
 	stopProf, err := prof.StartCPU(*cpuProf)
 	if err != nil {
@@ -75,6 +81,7 @@ func main() {
 	}
 
 	opt := gpues.ExperimentOptions{Scale: *scale, Parallelism: *par,
+		Workers: *workers,
 		TraceDir: *traceDir, TraceFilter: *traceFlt,
 		ResumeDir: *resumeDir, CheckpointEvery: *ckptEvery,
 		Trials: *trials, FlipSeed: *flipSeed, FlipRate: *flipRate,

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -55,6 +56,7 @@ func main() {
 		flipSeed  = flag.Int64("flip-seed", 0, "bit-flip injection seed (with -flip-rate)")
 		flipRate  = flag.Float64("flip-rate", 0, "per-lane-instruction bit-flip probability in [0,1] (0 = off)")
 		protectN  = flag.Int("protect-threads", 0, "shield the first N threads of every block from bit flips")
+		workers   = flag.Int("workers", 1, "tick-phase worker goroutines (1 = sequential; any count is bit-identical)")
 	)
 	flag.Parse()
 	digestMode := false
@@ -91,6 +93,10 @@ func main() {
 	}
 	if *flipSeed != 0 && *flipRate == 0 {
 		fmt.Fprintln(os.Stderr, "-flip-seed needs -flip-rate > 0")
+		os.Exit(2)
+	}
+	if *workers < 1 || *workers > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr, "-workers %d out of range [1,%d] (NumCPU)\n", *workers, runtime.NumCPU())
 		os.Exit(2)
 	}
 
@@ -132,6 +138,7 @@ func main() {
 	}
 	cfg.SM.OperandLog.SizeKB = *logKB
 	cfg.MaxCycles = *maxCycles
+	cfg.Workers = *workers
 	cfg.DemandPaging = *paging
 	cfg.Scheduler.Enabled = *switching
 	cfg.Local.Enabled = *local

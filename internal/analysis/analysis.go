@@ -24,6 +24,15 @@
 //	    On a package comment: opts the package into the determinism
 //	    analyzer's rules in addition to the built-in package list.
 //
+//	//simlint:shardsafe
+//	    On a function's doc comment: the function (and the function
+//	    literals it encloses) may spawn goroutines inside a timing-core
+//	    package. The annotation asserts the deterministic-parallelism
+//	    contract of docs/parallelism.md: spawned goroutines touch only
+//	    shard-private state plus staged effect ledgers that the main
+//	    goroutine flushes in a deterministic order. Unannotated spawns
+//	    are still flagged by the determinism analyzer.
+//
 //	//simlint:ignore <analyzer> <reason>
 //	    On (or on the line above) a flagged line: suppresses that
 //	    analyzer's diagnostics for the line. The reason is mandatory.

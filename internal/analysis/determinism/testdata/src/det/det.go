@@ -34,6 +34,15 @@ func spawn(fn func()) {
 	go fn() // want "goroutine spawned in a timing-core package"
 }
 
+// A function literal cannot launder a spawn: only a declaration-level
+// //simlint:shardsafe annotation sanctions it.
+func spawnViaLiteral() {
+	launch := func() {
+		go func() {}() // want "goroutine spawned in a timing-core package"
+	}
+	launch()
+}
+
 func (s *state) mutatesThroughPointer() {
 	for range s.counts {
 		s.total++ // want "loop body mutates non-local state"
@@ -101,4 +110,20 @@ func copyInto(src map[string]int64) map[string]string {
 		dst[k] = fmt.Sprintf("%d", v)
 	}
 	return dst
+}
+
+// The sanctioned concurrency idiom: a shardsafe-annotated declaration
+// may spawn, both directly and through nested function literals
+// (workers stage effects into ledgers flushed deterministically).
+//
+//simlint:shardsafe
+func launchWorkers(n int, work func(int)) {
+	for w := 0; w < n; w++ {
+		w := w
+		go work(w)
+		go func() {
+			inner := func() { go work(w) }
+			inner()
+		}()
+	}
 }

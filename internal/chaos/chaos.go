@@ -255,6 +255,21 @@ func (p *Plan) StallIssue(smID int, isReplay bool) bool {
 	return true
 }
 
+// TickOrderFree reports whether the plan draws no randomness from the
+// SM tick path (doIssue/doFetch), i.e. whether StallIssue always
+// returns false before touching the RNG. The parallel tick phase in
+// sim.StepTo requires this: the plan's single RNG is consumed in
+// simulation call order, and ticking SMs concurrently would reorder
+// tick-path draws across worker counts. Plans with issue-stall
+// injection enabled force the run loop back to sequential ticking —
+// still bit-identical, just not parallel. Every other hook
+// (InjectWalkFault, ServiceDelay, TransferJitter, ForceSwitch) is
+// reached only from event callbacks, which the sequential drain phase
+// runs in deterministic queue order regardless of the worker count.
+func (p *Plan) TickOrderFree() bool {
+	return p == nil || p.cfg.IssueStallProb <= 0 || p.cfg.MaxIssueStalls <= 0
+}
+
 // ForceSwitch implements part of sm.Chaos: switch the faulting block
 // out regardless of its pending-queue position.
 func (p *Plan) ForceSwitch(smID int) bool {

@@ -1,0 +1,122 @@
+package clock
+
+import "testing"
+
+// TestStageFlushPreservesSequentialOrder is the staging equivalence
+// check at the queue level: scheduling through a Stage and flushing
+// must assign the same (cycle, seq) drain order as calling After
+// directly in the same order.
+func TestStageFlushPreservesSequentialOrder(t *testing.T) {
+	run := func(schedule func(q *Queue, delay int64, fn func())) []int {
+		q := New()
+		var order []int
+		for i, d := range []int64{3, 1, 3, 1, 2, 1} {
+			i := i
+			schedule(q, d, func() { order = append(order, i) })
+		}
+		for q.Len() > 0 {
+			next, ok := q.NextEvent()
+			if !ok {
+				t.Fatal("events pending but none scheduled")
+			}
+			q.SkipTo(next)
+			q.Step()
+		}
+		return order
+	}
+
+	direct := run(func(q *Queue, d int64, fn func()) { q.After(d, fn) })
+	staged := run(func(q *Queue, d int64, fn func()) {
+		var st Stage
+		st.After(d, fn)
+		st.FlushTo(q)
+	})
+	var batched []int
+	{
+		q := New()
+		var st Stage
+		for i, d := range []int64{3, 1, 3, 1, 2, 1} {
+			i := i
+			st.After(d, func() { batched = append(batched, i) })
+		}
+		st.FlushTo(q)
+		for q.Len() > 0 {
+			next, _ := q.NextEvent()
+			q.SkipTo(next)
+			q.Step()
+		}
+	}
+
+	want := []int{1, 3, 5, 4, 0, 2} // by (cycle, scheduling order)
+	for name, got := range map[string][]int{"direct": direct, "staged": staged, "batched": batched} {
+		if len(got) != len(want) {
+			t.Fatalf("%s ran %d events, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s drain order %v, want %v", name, got, want)
+			}
+		}
+	}
+}
+
+// TestStageReuseDoesNotAllocate pins the steady-state zero-allocation
+// property: once the high-water mark is reached, staging and flushing
+// reuse the buffer.
+func TestStageReuseDoesNotAllocate(t *testing.T) {
+	q := New()
+	var st Stage
+	fn := func() {}
+	// Reach the high-water mark.
+	for i := 0; i < 8; i++ {
+		st.After(1, fn)
+	}
+	st.FlushTo(q)
+	for q.Len() > 0 {
+		next, _ := q.NextEvent()
+		q.SkipTo(next)
+		q.Step()
+	}
+	if st.Cap() < 8 {
+		t.Fatalf("stage capacity %d after 8 staged events, want >= 8", st.Cap())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			st.After(1, fn)
+		}
+		st.events = st.events[:0] // drop without flushing; the queue would grow its own pool
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state staging allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestStageFlushClearsCallbacks verifies FlushTo resets length and
+// drops callback references (so the stage does not pin closures).
+func TestStageFlushClearsCallbacks(t *testing.T) {
+	q := New()
+	var st Stage
+	ran := 0
+	st.After(2, func() { ran++ })
+	st.After(1, func() { ran++ })
+	if st.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", st.Len())
+	}
+	st.FlushTo(q)
+	if st.Len() != 0 {
+		t.Fatalf("Len=%d after flush, want 0", st.Len())
+	}
+	for i := range st.events[:cap(st.events)][:2] {
+		if st.events[:2][i].fn != nil {
+			t.Errorf("flushed entry %d still references its callback", i)
+		}
+	}
+	for q.Len() > 0 {
+		next, _ := q.NextEvent()
+		q.SkipTo(next)
+		q.Step()
+	}
+	if ran != 2 {
+		t.Fatalf("%d callbacks ran, want 2", ran)
+	}
+}

@@ -257,6 +257,18 @@ type Config struct {
 	// touches fault (use-case 2, Figure 13).
 	LazyHeap bool
 
+	// Workers is the number of worker goroutines the run loop may use
+	// for the parallel tick phase: SM ticks are sharded across workers
+	// each cycle, with all shared-state side effects staged into
+	// per-SM ledgers and flushed in SM index order after the barrier,
+	// so results — sim-cycles, metrics, traces, per-component digests —
+	// are bit-identical at every worker count (see docs/parallelism.md).
+	// 0 or 1 selects the sequential path, byte-identical to a build
+	// without the knob. Workers is excluded from the checkpoint config
+	// fingerprint: a checkpoint taken at one worker count restores at
+	// any other.
+	Workers int
+
 	// MaxCycles aborts the simulation past this many cycles (a last-ditch
 	// livelock bound; the progress watchdog normally fires far earlier).
 	// 0 selects the simulator default.
@@ -418,6 +430,9 @@ func (c *Config) Validate() error {
 	case c.Excep.Flip.ProtectThreads < 0:
 		return fmt.Errorf("config: protected thread count %d must not be negative",
 			c.Excep.Flip.ProtectThreads)
+	case c.Workers < 0:
+		return fmt.Errorf("config: worker count %d must not be negative (0 or 1 = sequential)",
+			c.Workers)
 	}
 	return nil
 }

@@ -61,6 +61,9 @@ func Chaos(opt Options) (*Result, error) {
 				cfg.Scheme = scheme
 				cfg.DemandPaging = true
 				cfg.Scheduler.Enabled = true
+				if opt.Workers > 1 {
+					cfg.Workers = opt.Workers
+				}
 
 				run := func(plan *chaos.Plan) (int64, error) {
 					spec, err := workloads.Build(bench,

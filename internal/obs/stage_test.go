@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEmitStageMatchesDirectEmission is the staging equivalence check
+// at the tracer level: emitting through an EmitStage and flushing must
+// produce the same events — same global sequence numbers, same ring
+// placement — as calling Emit directly in the same order.
+func TestEmitStageMatchesDirectEmission(t *testing.T) {
+	emitAll := func(emit func(sm int, k Kind, warp int32, a, b uint64)) {
+		emit(0, KFetch, 3, 10, 20)
+		emit(1, KIssue, 4, 11, 21)
+		emit(0, KStall, 3, 12, 22)
+		emit(-1, KFaultRaised, 0, 13, 23) // system ring
+		emit(1, KFetch, 5, 14, 24)
+	}
+
+	direct := New(Options{})
+	direct.Bind(2, func() int64 { return 7 })
+	emitAll(direct.Emit)
+
+	staged := New(Options{})
+	staged.Bind(2, func() int64 { return 7 })
+	var st EmitStage
+	emitAll(func(sm int, k Kind, warp int32, a, b uint64) {
+		if staged.Enabled(k) {
+			st.Emit(sm, k, warp, a, b)
+		}
+	})
+	if st.Len() != 5 {
+		t.Fatalf("staged %d emissions, want 5", st.Len())
+	}
+	st.FlushTo(staged)
+	if st.Len() != 0 {
+		t.Fatalf("stage holds %d emissions after flush, want 0", st.Len())
+	}
+
+	want, got := direct.Events(), staged.Events()
+	if len(got) != len(want) || len(want) != 5 {
+		t.Fatalf("staged tracer holds %d events, direct %d, want 5", len(got), len(want))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("staged events diverge from direct emission:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEmitStageRespectsFilterAtStageTime mirrors the SM staging sites:
+// they consult Enabled before staging, so a filtered tracer sees the
+// same sequence numbers either way (Emit assigns seq only to
+// filter-passing kinds).
+func TestEmitStageRespectsFilterAtStageTime(t *testing.T) {
+	filter := uint64(1<<KFetch | 1<<KIssue)
+	direct := New(Options{Filter: filter})
+	direct.Bind(1, func() int64 { return 3 })
+	direct.Emit(0, KFetch, 1, 1, 1)
+	direct.Emit(0, KStall, 1, 2, 2) // dropped by the filter, no seq consumed
+	direct.Emit(0, KIssue, 1, 3, 3)
+
+	staged := New(Options{Filter: filter})
+	staged.Bind(1, func() int64 { return 3 })
+	var st EmitStage
+	for _, e := range []struct {
+		k    Kind
+		a, b uint64
+	}{{KFetch, 1, 1}, {KStall, 2, 2}, {KIssue, 3, 3}} {
+		if staged.Enabled(e.k) {
+			st.Emit(0, e.k, 1, e.a, e.b)
+		}
+	}
+	st.FlushTo(staged)
+
+	if !reflect.DeepEqual(staged.Events(), direct.Events()) {
+		t.Fatalf("filtered staged events diverge:\n got %+v\nwant %+v",
+			staged.Events(), direct.Events())
+	}
+}
+
+// TestEmitStageReuseDoesNotAllocate pins the steady-state
+// zero-allocation property of the staging buffer.
+func TestEmitStageReuseDoesNotAllocate(t *testing.T) {
+	var st EmitStage
+	for i := 0; i < 8; i++ {
+		st.Emit(0, KFetch, 0, 0, 0)
+	}
+	st.events = st.events[:0]
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			st.Emit(0, KFetch, 0, 0, 0)
+		}
+		st.events = st.events[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state staging allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -56,7 +56,7 @@ func (r *Registry) RestoreState(rd *ckpt.Reader) error {
 		return err
 	}
 	for i := 0; i < ng; i++ {
-		rd.String()
+		_ = rd.String()
 		rd.I64()
 	}
 	nh := rd.Int()

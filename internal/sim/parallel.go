@@ -1,0 +1,227 @@
+// Parallel tick phase: shard the SMs across worker goroutines while
+// keeping every result bit-identical to the sequential run.
+//
+// The run loop alternates two phases each cycle. The tick phase
+// advances every runnable SM by one cycle; the drain phase
+// (clock.Queue.Step) runs the cycle's event callbacks, which is where
+// all cross-component traffic happens — cache fills, TLB walks, fault
+// service, block switching, dispatch. Only the tick phase is
+// parallelized: SM.Tick touches nothing outside its own SM except
+// three append-only effect streams (clock schedules, trace emissions,
+// histogram samples), which TickStaged captures in a per-SM
+// sm.Ledger. After the barrier the main goroutine flushes the ledgers
+// in SM index order, replaying the effects in exactly the order the
+// sequential sweep would have produced them — same queue sequence
+// numbers, same tracer sequence numbers, same histogram state. The
+// drain phase stays sequential because its callbacks make synchronous
+// cross-domain calls with consumed return values (L1 miss → L2.Fetch,
+// RaiseFault → queue position) and zero-latency shared→shard
+// callbacks (an L2 fill runs L1 waiter closures at the same cycle);
+// see docs/parallelism.md for why a windowed-lookahead drain cannot
+// keep bit-identity here.
+//
+// Parallel ticking engages only when every SM's tick path is isolated:
+// no OnEvent test hook, and no chaos plan drawing randomness at issue
+// (chaos.Plan.TickOrderFree). Otherwise — and whenever fewer than two
+// SMs are runnable — the loop falls back to direct sequential ticking,
+// which is byte-identical to the staged path by construction, so the
+// two may alternate freely within one run.
+package sim
+
+import (
+	"math/bits"
+	"sync"
+
+	"gpues/internal/sm"
+)
+
+// tickShard outcome flags, written by workers into disjoint per-SM
+// slots and consumed by the main goroutine after the barrier.
+const (
+	// tickTicked marks an SM that ran TickStaged this cycle (its ledger
+	// must be flushed).
+	tickTicked uint8 = 1 << iota
+	// tickClear marks an SM whose active bit must be cleared (done or
+	// idle, before or after its tick).
+	tickClear
+)
+
+// shardPool drives one StepTo call's worker goroutines. Shards are
+// static contiguous SM index ranges — SM residency is symmetric across
+// the machine, so contiguous ranges balance well, and a static
+// assignment keeps each SM on one worker (no cross-worker handoff of
+// SM state between consecutive cycles).
+type shardPool struct {
+	s       *Simulator
+	workers int
+	shards  [][2]int // per-worker [lo, hi) SM index range
+	start   []chan struct{}
+	wg      sync.WaitGroup
+}
+
+// tickIsolated reports whether every SM's tick path is free of
+// effects the ledger cannot stage: OnEvent hooks run synchronously
+// inside Tick, and a chaos plan with issue-stall injection draws from
+// the shared RNG in tick order.
+func (s *Simulator) tickIsolated() bool {
+	if s.chaos != nil && !s.chaos.TickOrderFree() {
+		return false
+	}
+	for _, m := range s.sms {
+		if !m.TickIsolated() {
+			return false
+		}
+	}
+	return true
+}
+
+// newShardPool builds the worker pool for one StepTo call, or returns
+// nil when the run must tick sequentially (workers <= 1, a single SM,
+// or a non-isolated tick path). The per-SM ledgers and result slots
+// live on the Simulator and are reused across StepTo calls.
+func (s *Simulator) newShardPool() *shardPool {
+	w := s.workers
+	if w > len(s.sms) {
+		w = len(s.sms)
+	}
+	if w <= 1 || !s.tickIsolated() {
+		return nil
+	}
+	if s.ledgers == nil {
+		s.ledgers = make([]sm.Ledger, len(s.sms))
+		s.tickRes = make([]uint8, len(s.sms))
+	}
+	p := &shardPool{s: s, workers: w,
+		shards: make([][2]int, w), start: make([]chan struct{}, w)}
+	for i := 0; i < w; i++ {
+		p.shards[i] = [2]int{i * len(s.sms) / w, (i + 1) * len(s.sms) / w}
+		p.start[i] = make(chan struct{}, 1)
+	}
+	return p
+}
+
+// launch starts the persistent worker goroutines. They live for the
+// duration of one StepTo call; stop terminates them. Workers only
+// mutate shard-private state (their SMs and ledgers) and their
+// disjoint result slots between barrier entry and exit, and every
+// effect that crosses the shard boundary goes through the staged
+// ledgers the main goroutine flushes in SM index order.
+//
+//simlint:shardsafe
+func (p *shardPool) launch() {
+	for w := 0; w < p.workers; w++ {
+		w := w
+		go func() {
+			lo, hi := p.shards[w][0], p.shards[w][1]
+			for range p.start[w] {
+				p.tickShard(lo, hi)
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+// stop terminates the workers. Safe between barriers only (never
+// mid-phase); StepTo defers it at return, which is always between
+// cycles.
+func (p *shardPool) stop() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}
+
+// tickShard advances the shard's runnable SMs, mirroring the
+// sequential loop's re-check semantics: a set bit whose SM reports
+// done or idle is dropped without a tick. The active bitset is
+// read-only during the phase; outcomes go to disjoint tickRes slots.
+func (p *shardPool) tickShard(lo, hi int) {
+	s := p.s
+	for i := lo; i < hi; i++ {
+		if s.active[i>>6]&(1<<(uint(i)&63)) == 0 {
+			continue
+		}
+		m := s.sms[i]
+		if m.Done() || m.Idle() {
+			p.s.tickRes[i] = tickClear
+			continue
+		}
+		m.TickStaged(&s.ledgers[i])
+		r := tickTicked
+		if m.Done() || m.Idle() {
+			r |= tickClear
+		}
+		p.s.tickRes[i] = r
+	}
+}
+
+// tick runs one tick phase: dispatch, barrier, then the ordered
+// ledger flush and active-set update on the main goroutine. With at
+// most one runnable SM it ticks inline instead — the staged and
+// direct paths produce identical state, so the choice is invisible to
+// results and saves the barrier round trip during fault-dominated
+// phases where most of the machine sleeps.
+func (p *shardPool) tick() bool {
+	s := p.s
+	n := 0
+	for _, word := range s.active {
+		n += bits.OnesCount64(word)
+	}
+	if n <= 1 {
+		return s.tickSequential()
+	}
+	s.parTicks++
+	p.wg.Add(p.workers)
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	p.wg.Wait()
+	anyActive := false
+	for i := range s.sms {
+		r := s.tickRes[i]
+		if r == 0 {
+			continue
+		}
+		s.tickRes[i] = 0
+		if r&tickTicked != 0 {
+			anyActive = true
+			s.sms[i].FlushLedger(&s.ledgers[i])
+		}
+		if r&tickClear != 0 {
+			s.active[i>>6] &^= 1 << (uint(i) & 63)
+		}
+	}
+	return anyActive
+}
+
+// ParallelTicks returns how many tick phases this simulator ran
+// through the worker barrier (as opposed to inline sequential
+// sweeps). It is diagnostic only — zero means the run was effectively
+// sequential (workers <= 1, a gated tick path, or never more than one
+// runnable SM at once) — and never feeds back into simulation state.
+func (s *Simulator) ParallelTicks() int64 { return s.parTicks }
+
+// tickSequential is the direct tick sweep: active SMs in index order,
+// effects applied immediately. This is the pre-parallel code path,
+// taken verbatim when no pool is in play — the -workers=1 byte-
+// identity guarantee — and by the pool itself when at most one SM is
+// runnable.
+func (s *Simulator) tickSequential() bool {
+	anyActive := false
+	for w, word := range s.active {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << uint(bit)
+			m := s.sms[w<<6+bit]
+			if m.Done() || m.Idle() {
+				s.active[w] &^= 1 << uint(bit)
+				continue
+			}
+			m.Tick()
+			anyActive = true
+			if m.Done() || m.Idle() {
+				s.active[w] &^= 1 << uint(bit)
+			}
+		}
+	}
+	return anyActive
+}

@@ -1,0 +1,261 @@
+// Differential tests for the parallel tick phase: every worker count
+// must produce results bit-identical to the sequential run — cycle
+// counts, the full stall breakdown, the complete metrics snapshot, and
+// every per-component state digest — across the paper's workload
+// shapes (resident Fig10, demand-paging-with-switching Fig12,
+// lazy-allocation-with-local-handling Fig13), both exception delivery
+// modes, chaos injection, and checkpoints crossing worker counts.
+//
+// The tests live in the external sim_test package because the workload
+// builders import sim.
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"gpues/internal/chaos"
+	"gpues/internal/ckpt"
+	"gpues/internal/config"
+	"gpues/internal/excep"
+	"gpues/internal/sim"
+	"gpues/internal/workloads"
+)
+
+// workerCounts is the differential matrix's worker axis; 1 is the
+// sequential reference.
+var workerCounts = []int{1, 2, 4, 8}
+
+// parCase is one workload/config shape of the differential matrix.
+type parCase struct {
+	name  string
+	bench string
+	place workloads.Placement
+	mut   func(*config.Config)
+	modes []excep.Mode
+}
+
+func parCases() []parCase {
+	return []parCase{
+		{
+			// Fig10 shape: resident data, the operand-log pipeline.
+			name: "fig10-lbm-operand-log", bench: "lbm",
+			place: workloads.Resident(),
+			mut:   func(c *config.Config) { c.Scheme = config.OperandLog },
+			modes: []excep.Mode{excep.ModePrecise},
+		},
+		{
+			// Fig12 shape: on-demand paging with block switching on fault.
+			name: "fig12-sgemm-paging-switching", bench: "sgemm",
+			place: workloads.DemandPaging(),
+			mut: func(c *config.Config) {
+				c.Scheme = config.ReplayQueue
+				c.DemandPaging = true
+				c.Scheduler.Enabled = true
+			},
+			modes: []excep.Mode{excep.ModePrecise, excep.ModePreemptible},
+		},
+		{
+			// Fig13 shape: lazy allocation with GPU-local fault handling.
+			name: "fig13-halloc-spree-lazy-local", bench: "halloc-spree",
+			place: workloads.LazyOutput(),
+			mut: func(c *config.Config) {
+				c.Scheme = config.ReplayQueue
+				c.LazyOutput = true
+				c.Local.Enabled = true
+			},
+			modes: []excep.Mode{excep.ModePrecise, excep.ModePreemptible},
+		},
+	}
+}
+
+// buildSpec builds the case's workload afresh: runs mutate the
+// functional memory image, so every simulation needs its own.
+func buildSpec(t *testing.T, pc parCase) sim.LaunchSpec {
+	t.Helper()
+	spec, err := workloads.Build(pc.bench, workloads.Params{Scale: 1, Placement: pc.place})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func caseConfig(pc parCase, mode excep.Mode, workers int) config.Config {
+	cfg := config.Default()
+	pc.mut(&cfg)
+	cfg.Excep.Mode = mode
+	cfg.Workers = workers
+	return cfg
+}
+
+// runWithDigests runs the case to completion and returns the result
+// plus the end-of-run per-component state digests.
+func runWithDigests(t *testing.T, pc parCase, mode excep.Mode, workers int) (*sim.Result, []ckpt.SectionDigest) {
+	t.Helper()
+	s, err := sim.New(caseConfig(pc, mode, workers), buildSpec(t, pc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guard against a vacuous pass: these workloads keep many SMs
+	// runnable at once, so a multi-worker run must have gone through
+	// the barrier path, not fallen back to inline sequential sweeps.
+	if workers > 1 && s.ParallelTicks() == 0 {
+		t.Fatalf("workers=%d run never engaged the parallel tick phase", workers)
+	}
+	return r, s.ComponentDigests()
+}
+
+// checkSame fails unless the parallel run matches the sequential
+// reference exactly: cycles, stall breakdown, metrics snapshot, the
+// whole Result, and every component digest.
+func checkSame(t *testing.T, workers int, refR, gotR *sim.Result, refD, gotD []ckpt.SectionDigest) {
+	t.Helper()
+	if gotR.Cycles != refR.Cycles {
+		t.Errorf("workers=%d: %d cycles, sequential %d", workers, gotR.Cycles, refR.Cycles)
+	}
+	if gotR.Stalls != refR.Stalls {
+		t.Errorf("workers=%d: stall breakdown %+v, sequential %+v", workers, gotR.Stalls, refR.Stalls)
+	}
+	if !reflect.DeepEqual(gotR.Metrics, refR.Metrics) {
+		t.Errorf("workers=%d: metrics snapshot diverged from sequential", workers)
+	}
+	if !reflect.DeepEqual(gotR, refR) {
+		t.Errorf("workers=%d: result diverged from sequential:\n got %+v\nwant %+v", workers, gotR, refR)
+	}
+	if !reflect.DeepEqual(gotD, refD) {
+		for i := range refD {
+			if i < len(gotD) && gotD[i] != refD[i] {
+				t.Errorf("workers=%d: component %q digest %#x, sequential %#x",
+					workers, refD[i].Name, gotD[i].Digest, refD[i].Digest)
+			}
+		}
+		if len(gotD) != len(refD) {
+			t.Errorf("workers=%d: %d digest sections, sequential %d", workers, len(gotD), len(refD))
+		}
+	}
+}
+
+// TestParallelBitIdentical is the core differential matrix: every
+// workload shape × exception mode × worker count must reproduce the
+// sequential run bit for bit.
+func TestParallelBitIdentical(t *testing.T) {
+	for _, pc := range parCases() {
+		for _, mode := range pc.modes {
+			pc, mode := pc, mode
+			t.Run(pc.name+"/"+mode.String(), func(t *testing.T) {
+				refR, refD := runWithDigests(t, pc, mode, 1)
+				for _, w := range workerCounts[1:] {
+					gotR, gotD := runWithDigests(t, pc, mode, w)
+					checkSame(t, w, refR, gotR, refD, gotD)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelChaosBitIdentical runs the chaos matrix: level 1 keeps
+// the tick path randomness-free, so the parallel phase stays engaged;
+// level 3 injects issue stalls, so the run loop must detect the
+// tick-order hazard and fall back to sequential ticking. Either way
+// every worker count must reproduce the sequential injected-event
+// fingerprint, cycle count, and component digests.
+func TestParallelChaosBitIdentical(t *testing.T) {
+	pc := parCases()[1] // the paging+switching shape exercises every chaos hook
+	for _, level := range []int{1, 3} {
+		level := level
+		t.Run(map[int]string{1: "level1-parallel", 3: "level3-fallback"}[level], func(t *testing.T) {
+			run := func(workers int) (*sim.ChaosResult, []ckpt.SectionDigest) {
+				plan, err := chaos.ForLevel(level, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := caseConfig(pc, excep.ModePrecise, workers)
+				spec := buildSpec(t, pc)
+				s, err := sim.New(cfg, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.AttachChaos(plan)
+				r, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return &sim.ChaosResult{Result: r, Events: plan.Events(),
+					Fingerprint: plan.Fingerprint()}, s.ComponentDigests()
+			}
+			refC, refD := run(1)
+			for _, w := range workerCounts[1:] {
+				gotC, gotD := run(w)
+				if gotC.Fingerprint != refC.Fingerprint {
+					t.Errorf("workers=%d: chaos fingerprint %#x, sequential %#x (%d vs %d events)",
+						w, gotC.Fingerprint, refC.Fingerprint, len(gotC.Events), len(refC.Events))
+				}
+				checkSame(t, w, refC.Result, gotC.Result, refD, gotD)
+			}
+		})
+	}
+}
+
+// TestParallelCheckpointCrossWorkers checkpoints a run at one worker
+// count and restores it at another: the worker count is excluded from
+// the checkpoint's config fingerprint (it cannot change results), so
+// a parallel checkpoint must restore — with Restore's byte-exact
+// section comparison — onto a sequential simulator and vice versa,
+// and both resumed runs must finish bit-identical to the
+// uninterrupted reference.
+func TestParallelCheckpointCrossWorkers(t *testing.T) {
+	pc := parCases()[1]
+	mode := excep.ModePrecise
+	refR, refD := runWithDigests(t, pc, mode, 1)
+	at := refR.Cycles / 2
+
+	saveAt := func(workers int) *ckpt.Checkpoint {
+		s, err := sim.New(caseConfig(pc, mode, workers), buildSpec(t, pc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		reached, err := s.StepTo(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reached {
+			t.Fatalf("workers=%d: finished at cycle %d before snapshot cycle %d", workers, s.Cycle(), at)
+		}
+		return s.Capture()
+	}
+	resume := func(workers int, ck *ckpt.Checkpoint) (*sim.Result, []ckpt.SectionDigest) {
+		s, err := sim.New(caseConfig(pc, mode, workers), buildSpec(t, pc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Restore(ck); err != nil {
+			t.Fatalf("restore at workers=%d: %v", workers, err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, s.ComponentDigests()
+	}
+
+	for _, dir := range []struct {
+		name       string
+		save, load int
+	}{
+		{"parallel-to-sequential", 4, 1},
+		{"sequential-to-parallel", 1, 4},
+	} {
+		dir := dir
+		t.Run(dir.name, func(t *testing.T) {
+			gotR, gotD := resume(dir.load, saveAt(dir.save))
+			checkSame(t, dir.load, refR, gotR, refD, gotD)
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+
+	"gpues/internal/chaos"
+	"gpues/internal/config"
+	"gpues/internal/vm"
+)
+
+// parTestSim builds a started simulator over the synthetic vecadd
+// kernel with the given worker count.
+func parTestSim(t *testing.T, workers int) *Simulator {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Workers = workers
+	s, err := New(cfg, testSpec(t, 16, 128, vm.RegionGPUInit, vm.RegionGPUInit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestShardPoolGating pins down when the parallel tick phase may
+// engage: only with workers >= 2, no OnEvent hook on any SM, and no
+// chaos plan drawing randomness on the tick path.
+func TestShardPoolGating(t *testing.T) {
+	if s := parTestSim(t, 1); s.newShardPool() != nil {
+		t.Error("workers=1 built a shard pool; must stay on the sequential path")
+	}
+	if s := parTestSim(t, 4); s.newShardPool() == nil {
+		t.Error("workers=4 with an isolated tick path built no shard pool")
+	}
+
+	s := parTestSim(t, 4)
+	s.sms[3].OnEvent = func(string, int, int32, int64) {}
+	if s.newShardPool() != nil {
+		t.Error("an SM with an OnEvent hook must force sequential ticking")
+	}
+	s.sms[3].OnEvent = nil
+	if s.newShardPool() == nil {
+		t.Error("clearing the OnEvent hook did not re-enable the pool")
+	}
+
+	for _, tc := range []struct {
+		level    int
+		wantPool bool
+	}{
+		{0, true}, {1, true}, {2, false}, {3, false},
+	} {
+		s := parTestSim(t, 4)
+		plan, err := chaos.ForLevel(tc.level, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AttachChaos(plan)
+		if got := s.newShardPool() != nil; got != tc.wantPool {
+			t.Errorf("chaos level %d: pool=%v, want %v (TickOrderFree=%v)",
+				tc.level, got, tc.wantPool, plan.TickOrderFree())
+		}
+	}
+}
+
+// TestShardPoolLedgersDrained runs a workers=4 launch to completion
+// and requires every ledger to be empty afterwards: staged effects
+// must never survive a cycle boundary (they would otherwise leak into
+// checkpoints and divergence bisection). Whether the barrier path
+// actually engaged is workload-dependent — the synthetic vecadd rarely
+// has two SMs runnable at once — so engagement itself is asserted by
+// the differential matrix in parallel_test.go over real workloads.
+func TestShardPoolLedgersDrained(t *testing.T) {
+	s := parTestSim(t, 4)
+	if _, err := s.StepTo(-1); err != nil {
+		t.Fatal(err)
+	}
+	if s.ledgers == nil {
+		t.Fatal("run at workers=4 never built the shard pool")
+	}
+	for i := range s.ledgers {
+		if !s.ledgers[i].Empty() {
+			t.Errorf("ledger %d still holds staged effects after the run", i)
+		}
+	}
+}
+
+// TestShardPoolShards pins the shard partition: contiguous, disjoint,
+// covering, and never more shards than SMs.
+func TestShardPoolShards(t *testing.T) {
+	s := parTestSim(t, 64) // more workers than the 16 SMs of the default config
+	p := s.newShardPool()
+	if p == nil {
+		t.Fatal("no pool")
+	}
+	if p.workers != len(s.sms) {
+		t.Fatalf("%d workers for %d SMs; want the worker count clamped to the SM count", p.workers, len(s.sms))
+	}
+	next := 0
+	for w, sh := range p.shards {
+		if sh[0] != next {
+			t.Fatalf("shard %d starts at %d, want %d (contiguous cover)", w, sh[0], next)
+		}
+		if sh[1] < sh[0] {
+			t.Fatalf("shard %d is inverted: %v", w, sh)
+		}
+		next = sh[1]
+	}
+	if next != len(s.sms) {
+		t.Fatalf("shards cover [0,%d), want [0,%d)", next, len(s.sms))
+	}
+}

@@ -7,7 +7,6 @@ package sim
 
 import (
 	"fmt"
-	"math/bits"
 
 	"gpues/internal/cache"
 	"gpues/internal/chaos"
@@ -125,6 +124,18 @@ type Simulator struct {
 	// idle or done, so quiescent SMs cost nothing per cycle.
 	active []uint64
 
+	// workers is the tick-phase worker count from Config.Workers; with
+	// workers >= 2 StepTo shards the SM tick sweep across that many
+	// goroutines (see parallel.go), bit-identical to sequential.
+	// ledgers and tickRes are the per-SM staging buffers and outcome
+	// slots, allocated on first parallel use and reused across calls.
+	workers int
+	ledgers []sm.Ledger
+	tickRes []uint8
+	// parTicks counts tick phases run through the worker barrier
+	// (diagnostic; see ParallelTicks).
+	parTicks int64
+
 	// reg holds the metrics registry; tracer is the attached event
 	// tracer (nil unless AttachTracer was called).
 	reg    *obs.Registry
@@ -179,7 +190,7 @@ func New(cfg config.Config, spec LaunchSpec) (*Simulator, error) {
 	}
 
 	s := &Simulator{cfg: cfg, spec: spec, q: clock.New(), MaxCycles: DefaultMaxCycles,
-		progressWindow: DefaultProgressWindow}
+		progressWindow: DefaultProgressWindow, workers: cfg.Workers}
 	if cfg.MaxCycles > 0 {
 		s.MaxCycles = cfg.MaxCycles
 	}
@@ -321,7 +332,13 @@ func New(cfg config.Config, spec LaunchSpec) (*Simulator, error) {
 	}
 	s.registerMetrics()
 	s.nonces = make(map[string]uint64)
-	s.cfgFP = ckpt.Digest([]byte(fmt.Sprintf("%#v", cfg)))
+	// The worker count never changes simulation results (the parallel
+	// tick phase is bit-identical to sequential), so it is excluded from
+	// the config fingerprint: a checkpoint taken at one worker count
+	// restores under any other.
+	fpCfg := cfg
+	fpCfg.Workers = 0
+	s.cfgFP = ckpt.Digest([]byte(fmt.Sprintf("%#v", fpCfg)))
 	s.specFP = s.fingerprintSpec()
 	return s, nil
 }
@@ -454,6 +471,16 @@ func (s *Simulator) Start() error {
 // simulator reaches via StepTo(C) — the foundation of restore
 // verification and divergence bisection.
 func (s *Simulator) StepTo(stop int64) (bool, error) {
+	// With Workers >= 2 and an isolated tick path, shard the tick sweep
+	// across worker goroutines for this call (parallel.go); the workers
+	// are parked at a barrier except during the tick phase and stopped
+	// before return. A nil pool means the sequential sweep below — the
+	// two produce bit-identical state.
+	pool := s.newShardPool()
+	if pool != nil {
+		pool.launch()
+		defer pool.stop()
+	}
 	for !s.finished() {
 		now := s.q.Now()
 		s.applyPerturbs(now)
@@ -487,22 +514,11 @@ func (s *Simulator) StepTo(stop int64) (bool, error) {
 		// over-approximate (a woken SM can be done), so each set bit
 		// re-checks the old scan's !Done && !Idle condition; SMs that
 		// fail it drop out of the set until their next wake.
-		anyActive := false
-		for w, word := range s.active {
-			for word != 0 {
-				bit := bits.TrailingZeros64(word)
-				word &^= 1 << uint(bit)
-				m := s.sms[w<<6+bit]
-				if m.Done() || m.Idle() {
-					s.active[w] &^= 1 << uint(bit)
-					continue
-				}
-				m.Tick()
-				anyActive = true
-				if m.Done() || m.Idle() {
-					s.active[w] &^= 1 << uint(bit)
-				}
-			}
+		var anyActive bool
+		if pool != nil {
+			anyActive = pool.tick()
+		} else {
+			anyActive = s.tickSequential()
 		}
 		if err := s.firstError(); err != nil {
 			return false, err

@@ -1,0 +1,104 @@
+// Effect ledgers for the parallel tick phase.
+//
+// SM.Tick touches shared simulator state at exactly three kinds of
+// site, all append-only from the SM's point of view:
+//
+//   - clock.Queue.After — one site, the issue stage scheduling the
+//     operand-read callback one cycle out (doIssue). The queue assigns
+//     FIFO sequence numbers in call order, which fixes the drain order
+//     of same-cycle events.
+//   - obs.Tracer.Emit — the fetch/issue/stall trace sites. The tracer
+//     assigns its global sequence number in call order, which fixes the
+//     exported event order.
+//   - obs.Histogram.Observe — the operand-log occupancy sample at
+//     issue. Histogram state (buckets, count, sum, min, max) is
+//     commutative over observation order, but the call still races if
+//     made concurrently.
+//
+// Everything else Tick reads or writes is SM-private (warp and block
+// runtime state, the flight pool, the SM's own stats) or frozen for the
+// duration of the tick phase (clock.Queue.Now, the config, the chaos
+// plan's fast-path fields). A Ledger captures the three shared-effect
+// streams during a staged tick; the run loop flushes the ledgers in SM
+// index order after the barrier, replaying every call in exactly the
+// order a sequential tick sweep (SM 0, SM 1, ...) would have made it.
+// Staged ticking is therefore bit-identical to direct ticking — same
+// queue sequence numbers, same trace sequence numbers, same histogram
+// state — which is the determinism argument of docs/parallelism.md.
+package sm
+
+import (
+	"gpues/internal/clock"
+	"gpues/internal/obs"
+)
+
+// Ledger stages the shared-state side effects of one SM's tick. It is
+// owned by one goroutine at a time — the ticking worker between
+// barriers, the flushing main goroutine otherwise — and is empty
+// outside the tick phase, so it never carries state across cycle
+// boundaries (and never appears in checkpoints).
+type Ledger struct {
+	// Events buffers clock schedules (the issue stage's operand-read
+	// callbacks).
+	Events clock.Stage
+	// Trace buffers tracer emissions (fetch/issue/stall sites).
+	Trace obs.EmitStage
+	// logOcc buffers operand-log occupancy histogram samples.
+	logOcc []int64
+}
+
+// observeLogOcc stages one operand-log occupancy sample.
+//
+//simlint:noalloc
+func (l *Ledger) observeLogOcc(v int64) {
+	if len(l.logOcc) < cap(l.logOcc) {
+		l.logOcc = l.logOcc[:len(l.logOcc)+1]
+		l.logOcc[len(l.logOcc)-1] = v
+		return
+	}
+	//simlint:ignore noalloc grow path, runs once per high-water mark of staged samples
+	l.logOcc = append(l.logOcc, v)
+}
+
+// Empty reports whether the ledger holds no staged effects.
+func (l *Ledger) Empty() bool {
+	return l.Events.Len() == 0 && l.Trace.Len() == 0 && len(l.logOcc) == 0
+}
+
+// TickStaged is Tick with every shared-state side effect staged into
+// led instead of applied directly. The caller (the run loop's parallel
+// tick phase) must guarantee tick isolation: no OnEvent hook installed
+// and no chaos plan drawing randomness on the tick path (see
+// Plan.TickOrderFree). FlushLedger applies the staged effects; until
+// then the tick has touched only SM-private state, so concurrent
+// TickStaged calls on distinct SMs are race-free.
+func (s *SM) TickStaged(led *Ledger) {
+	s.led = led
+	s.Tick()
+	s.led = nil
+}
+
+// FlushLedger applies the effects staged by the previous TickStaged
+// call and resets the ledger. The run loop calls it single-threaded,
+// in SM index order, which reproduces the sequential tick sweep's call
+// order exactly. The three streams are mutually independent — queue
+// sequence numbers, tracer sequence numbers and histogram state do not
+// observe each other — so their relative flush order is immaterial;
+// within each stream, recording order is preserved.
+//
+//simlint:noalloc
+func (s *SM) FlushLedger(led *Ledger) {
+	led.Events.FlushTo(s.q)
+	led.Trace.FlushTo(s.tr)
+	for _, v := range led.logOcc {
+		s.met.LogOcc.Observe(v)
+	}
+	led.logOcc = led.logOcc[:0]
+}
+
+// TickIsolated reports whether this SM's tick path is free of
+// observation hooks that staged ticking cannot reproduce: the OnEvent
+// test hook runs synchronously inside Tick and may read shared state,
+// so any SM carrying one forces the run loop back to sequential
+// ticking.
+func (s *SM) TickIsolated() bool { return s.OnEvent == nil }

@@ -176,6 +176,11 @@ type SM struct {
 	// tr, when attached, receives typed trace events (internal/obs); a
 	// nil tracer costs one branch per emission site.
 	tr *obs.Tracer
+	// led, while non-nil (inside TickStaged only), redirects the tick
+	// path's shared-state side effects — clock schedules, trace
+	// emissions, histogram samples — into the ledger for an ordered
+	// post-barrier flush; see ledger.go.
+	led *Ledger
 	// met holds the shared aggregate instruments the simulator passes
 	// in; its pointers are nil-safe, so observations run unconditionally.
 	met Metrics
@@ -215,18 +220,35 @@ func (s *SM) warpID(w *warpRT) int32 {
 func (s *SM) blockTID(b *blockRT) int32 { return int32(b.id * s.warpsPerBlock) }
 
 // trace emits one pipeline-shaped event (A=trace index, B=block id).
+// During a staged tick the emission is buffered in the ledger instead,
+// preserving per-SM order; the Enabled pre-check keeps the staged path
+// from buffering events the tracer's filter would drop anyway.
 func (s *SM) trace(k obs.Kind, w *warpRT, tIdx int32) {
-	if s.tr != nil {
-		s.tr.Emit(s.ID, k, s.warpID(w), uint64(tIdx), uint64(w.block.id))
+	if s.tr == nil {
+		return
 	}
+	if s.led != nil {
+		if s.tr.Enabled(k) {
+			s.led.Trace.Emit(s.ID, k, s.warpID(w), uint64(tIdx), uint64(w.block.id))
+		}
+		return
+	}
+	s.tr.Emit(s.ID, k, s.warpID(w), uint64(tIdx), uint64(w.block.id))
 }
 
 // stall counts one issue-stage stall occurrence and traces it.
 func (s *SM) stall(w *warpRT, f *flight, r obs.StallReason) {
 	s.stats.Stalls[r]++
-	if s.tr != nil {
-		s.tr.Emit(s.ID, obs.KStall, s.warpID(w), uint64(r), uint64(f.tIdx))
+	if s.tr == nil {
+		return
 	}
+	if s.led != nil {
+		if s.tr.Enabled(obs.KStall) {
+			s.led.Trace.Emit(s.ID, obs.KStall, s.warpID(w), uint64(r), uint64(f.tIdx))
+		}
+		return
+	}
+	s.tr.Emit(s.ID, obs.KStall, s.warpID(w), uint64(r), uint64(f.tIdx))
 }
 
 // New builds an SM bound to its L1 cache, L1 TLB and the system-level
@@ -660,7 +682,11 @@ issueLoop:
 					continue
 				}
 				w.block.logUsed += logNeed
-				s.met.LogOcc.Observe(int64(w.block.logUsed))
+				if s.led != nil {
+					s.led.observeLogOcc(int64(w.block.logUsed))
+				} else {
+					s.met.LogOcc.Observe(int64(w.block.logUsed))
+				}
 			}
 			f.logHeld = logNeed
 		}
@@ -690,7 +716,11 @@ issueLoop:
 		s.stats.Issued++
 		s.event("issue", w, f.tIdx)
 		s.trace(obs.KIssue, w, f.tIdx)
-		s.q.After(1, f.opReadFn)
+		if s.led != nil {
+			s.led.Events.After(1, f.opReadFn)
+		} else {
+			s.q.After(1, f.opReadFn)
+		}
 		budget--
 		unitBudget[unit]--
 		warpsLeft--
