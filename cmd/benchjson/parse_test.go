@@ -89,6 +89,29 @@ BenchmarkFig10/baseline 1 579904096 ns/op 117137 sim-cycles
 	}
 }
 
+// TestParseSeriesMetrics covers the telemetry-derived units the
+// fault-driven benchmarks report (steady-ipc, peak-stall-share):
+// fractional values must come through the generic value/unit parsing
+// without disturbing the metrics that were already there.
+func TestParseSeriesMetrics(t *testing.T) {
+	const input = "BenchmarkFig12/switching 1 541994459 ns/op 129906 sim-cycles " +
+		"0.652 steady-ipc 0.874 peak-stall-share 100209 fault-lat-mean\n"
+	rep, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1", len(rep.Benchmarks))
+	}
+	m := rep.Benchmarks[0].Metrics
+	if m["steady-ipc"] != 0.652 || m["peak-stall-share"] != 0.874 {
+		t.Fatalf("series metrics = %v", m)
+	}
+	if m["ns/op"] != 541994459 || m["sim-cycles"] != 129906 || m["fault-lat-mean"] != 100209 {
+		t.Fatalf("existing metrics disturbed: %v", m)
+	}
+}
+
 func TestParseIgnoresMalformed(t *testing.T) {
 	rep, err := Parse(strings.NewReader("BenchmarkBad x 1 ns/op\nBenchmarkShort 1\nBenchmarkNoMetrics 1 foo bar\n"))
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"gpues"
+	"gpues/internal/obsrv"
 	"gpues/internal/prof"
 )
 
@@ -41,6 +42,8 @@ func main() {
 		flipRate  = flag.Float64("flip-rate", 0, "override the resilience campaign's flip probability in [0,1] (0 = default)")
 		protectN  = flag.Int("protect-threads", -1, "pin the resilience campaign's protection to N threads per block (-1 = sweep the built-in ladder)")
 		workers   = flag.Int("workers", 1, "tick-phase worker goroutines per simulation (1 = sequential; any count is bit-identical; composes with -j)")
+		sampleEv  = flag.Int64("sample-every", 0, "sample every registered metric inside each simulation every N cycles (0 = off)")
+		httpAddr  = flag.String("http", "", "serve live campaign progress (/status, /metrics, pprof) on this host:port")
 	)
 	flag.Parse()
 
@@ -73,6 +76,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-workers %d out of range [1,%d] (NumCPU)\n", *workers, runtime.NumCPU())
 		os.Exit(2)
 	}
+	if *sampleEv < 0 {
+		fmt.Fprintf(os.Stderr, "-sample-every %d must be non-negative (0 = sampling off)\n", *sampleEv)
+		os.Exit(2)
+	}
+	if *httpAddr != "" {
+		if err := obsrv.ValidateAddr(*httpAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	stopProf, err := prof.StartCPU(*cpuProf)
 	if err != nil {
@@ -81,12 +94,23 @@ func main() {
 	}
 
 	opt := gpues.ExperimentOptions{Scale: *scale, Parallelism: *par,
-		Workers: *workers,
+		Workers: *workers, SampleEvery: *sampleEv,
 		TraceDir: *traceDir, TraceFilter: *traceFlt,
 		ResumeDir: *resumeDir, CheckpointEvery: *ckptEvery,
 		Trials: *trials, FlipSeed: *flipSeed, FlipRate: *flipRate,
 		ProtectPin: *protectN >= 0, ProtectThreads: max(*protectN, 0),
 		ExcepMode: mode}
+	if *httpAddr != "" {
+		srv := obsrv.New(*httpAddr)
+		bound, err := srv.Start()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving http://%s\n", bound)
+		defer srv.Close()
+		opt.CampaignProgress = srv.SetCampaign
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)

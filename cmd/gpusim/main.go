@@ -21,8 +21,10 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"gpues"
+	"gpues/internal/obsrv"
 	"gpues/internal/prof"
 )
 
@@ -57,6 +59,10 @@ func main() {
 		flipRate  = flag.Float64("flip-rate", 0, "per-lane-instruction bit-flip probability in [0,1] (0 = off)")
 		protectN  = flag.Int("protect-threads", 0, "shield the first N threads of every block from bit flips")
 		workers   = flag.Int("workers", 1, "tick-phase worker goroutines (1 = sequential; any count is bit-identical)")
+		sampleEv  = flag.Int64("sample-every", 0, "sample every registered metric into the telemetry series every N cycles (0 = off)")
+		seriesFn  = flag.String("series", "", "write the sampled telemetry series to this file (.csv for CSV, otherwise NDJSON); needs -sample-every")
+		httpAddr  = flag.String("http", "", "serve live introspection (/status, /metrics, /series, /trace/last, pprof) on this host:port")
+		httpWait  = flag.Duration("http-linger", 0, "keep the -http server up this long after the run completes")
 	)
 	flag.Parse()
 	digestMode := false
@@ -99,6 +105,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-workers %d out of range [1,%d] (NumCPU)\n", *workers, runtime.NumCPU())
 		os.Exit(2)
 	}
+	if *sampleEv < 0 {
+		fmt.Fprintf(os.Stderr, "-sample-every %d must be non-negative (0 = sampling off)\n", *sampleEv)
+		os.Exit(2)
+	}
+	if *seriesFn != "" && *sampleEv == 0 {
+		fmt.Fprintln(os.Stderr, "-series needs -sample-every > 0")
+		os.Exit(2)
+	}
+	if *httpAddr != "" {
+		if err := obsrv.ValidateAddr(*httpAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *httpWait != 0 && *httpAddr == "" {
+		fmt.Fprintln(os.Stderr, "-http-linger needs -http")
+		os.Exit(2)
+	}
+	if *httpWait < 0 {
+		fmt.Fprintf(os.Stderr, "-http-linger %v must be non-negative\n", *httpWait)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, suite := range []string{"parboil", "halloc", "sdk"} {
@@ -139,6 +167,7 @@ func main() {
 	cfg.SM.OperandLog.SizeKB = *logKB
 	cfg.MaxCycles = *maxCycles
 	cfg.Workers = *workers
+	cfg.SampleEvery = *sampleEv
 	cfg.DemandPaging = *paging
 	cfg.Scheduler.Enabled = *switching
 	cfg.Local.Enabled = *local
@@ -203,6 +232,28 @@ func main() {
 		}
 	}
 
+	// Live introspection: start the server before the run so /status is
+	// reachable while the simulation ticks. The simulator publishes
+	// snapshots at its sequential flush point; the server never touches
+	// simulator state.
+	var srv *obsrv.Server
+	if *httpAddr != "" {
+		srv = obsrv.New(*httpAddr)
+		bound, err := srv.Start()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving http://%s\n", bound)
+		defer srv.Close()
+	}
+	linger := func() {
+		if srv != nil && *httpWait > 0 {
+			fmt.Fprintf(os.Stderr, "lingering %v on http://%s\n", *httpWait, srv.Addr())
+			time.Sleep(*httpWait)
+		}
+	}
+
 	stopProf, err := prof.StartCPU(*cpuProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -219,12 +270,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		cr, err := gpues.RunChaosOpts(cfg, spec, plan, gpues.ChaosRunOptions{
+		opt := gpues.ChaosRunOptions{
 			Tracer:          tracer,
 			CheckpointEvery: *ckptEvery,
 			CheckpointDir:   *ckptDir,
 			Resume:          *resume,
-		})
+		}
+		if srv != nil {
+			// Assign only a live server: a typed-nil in the interface field
+			// would pass the != nil check inside RunChaosOpts.
+			opt.Telemetry = srv
+		}
+		cr, err := gpues.RunChaosOpts(cfg, spec, plan, opt)
 		if err != nil {
 			exitOnExcep(err, writeTrace)
 			fmt.Fprintln(os.Stderr, err)
@@ -253,6 +310,9 @@ func main() {
 		s.AttachTracer(tracer)
 		s.CheckpointEvery = *ckptEvery
 		s.CheckpointDir = *ckptDir
+		if srv != nil {
+			s.SetTelemetrySink(srv, 0)
+		}
 		if err := applyPerturbs(s, *perturbFl); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -285,6 +345,12 @@ func main() {
 	writeTrace()
 	if *metricsFn != "" {
 		if err := writeMetricsFile(res.Metrics, *metricsFn); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *seriesFn != "" {
+		if err := writeSeriesFile(res.Series, *seriesFn); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -354,6 +420,7 @@ func main() {
 				s.Faults, s.SwitchesOut, s.SwitchesIn)
 		}
 	}
+	linger()
 }
 
 // exitOnExcep prints a device exception's structured records — the
@@ -441,6 +508,24 @@ func writeTraceFile(tr *gpues.Tracer, path string) error {
 		err = tr.WriteBinary(f)
 	} else {
 		err = tr.WriteChrome(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeSeriesFile exports the sampled telemetry series: CSV when the
+// path ends in .csv, NDJSON otherwise.
+func writeSeriesFile(v gpues.SeriesView, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = v.WriteCSV(f)
+	} else {
+		err = v.WriteNDJSON(f)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr

@@ -1,0 +1,82 @@
+// Command simstat analyzes telemetry series exported by gpusim -series
+// (or the live server's /series endpoint).
+//
+// With one file it reports run-level analytics: steady-state IPC, peak
+// stall attribution, fault phases, and the intervals with the heaviest
+// stall concentration. With two files it diffs them as an A/B
+// regression check: samples are aligned by cycle and every shared
+// column's worst relative deviation is reported; -threshold turns the
+// diff into a gate with a distinct exit code.
+//
+// Examples:
+//
+//	simstat run.series.ndjson
+//	simstat -json -top 5 run.series.ndjson
+//	simstat base.series.ndjson cand.series.ndjson
+//	simstat -threshold 0 base.series.ndjson cand.series.ndjson
+//
+// Exit status: 0 on success (and on a diff within threshold), 1 when
+// -threshold is set and the diff exceeds it, 2 on usage or input
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		asJSON    = flag.Bool("json", false, "emit the report or diff as JSON")
+		top       = flag.Int("top", 8, "intervals (report) or columns (diff) to show")
+		threshold = flag.Float64("threshold", -1, "diff gate: exit 1 when any aligned column deviates more than this percent, the runs end at different cycles, or columns are missing (-1 = report only)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: simstat [flags] series.ndjson            report one run\n"+
+				"       simstat [flags] a.ndjson b.ndjson        diff two runs (A = reference)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *top < 1 {
+		fmt.Fprintf(os.Stderr, "-top %d must be at least 1\n", *top)
+		os.Exit(2)
+	}
+
+	switch flag.NArg() {
+	case 1:
+		t, err := loadTable(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := writeReport(os.Stdout, flag.Arg(0), t, *top, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case 2:
+		a, err := loadTable(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		b, err := loadTable(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		d := diffSeries(a, b)
+		if err := writeDiff(os.Stdout, flag.Arg(0), flag.Arg(1), d, *top, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if d.exceeds(*threshold) {
+			fmt.Fprintf(os.Stderr, "diff exceeds threshold %g%%\n", *threshold)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

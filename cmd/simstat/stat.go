@@ -1,0 +1,270 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"gpues"
+)
+
+// loadTable reads and decodes one NDJSON series file.
+func loadTable(path string) (*gpues.SeriesTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := gpues.ReadSeriesNDJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// topIntervals picks the n intervals with the heaviest top-stall
+// concentration, returned in cycle order.
+func topIntervals(iv []gpues.IntervalStats, n int) []gpues.IntervalStats {
+	byShare := append([]gpues.IntervalStats(nil), iv...)
+	sort.SliceStable(byShare, func(i, j int) bool {
+		return byShare[i].TopStallShare > byShare[j].TopStallShare
+	})
+	if len(byShare) > n {
+		byShare = byShare[:n]
+	}
+	sort.Slice(byShare, func(i, j int) bool { return byShare[i].Cycle < byShare[j].Cycle })
+	return byShare
+}
+
+// report is the JSON shape of the single-file mode.
+type report struct {
+	File      string                `json:"file"`
+	Samples   int                   `json:"samples"`
+	Every     int64                 `json:"every"`
+	Stats     gpues.SeriesStats     `json:"stats"`
+	Intervals []gpues.IntervalStats `json:"top_intervals"`
+}
+
+// writeReport renders the run-level analytics of one series.
+func writeReport(w io.Writer, path string, t *gpues.SeriesTable, top int, asJSON bool) error {
+	st := gpues.SummarizeSeries(t)
+	iv := topIntervals(gpues.AnalyzeSeries(t), top)
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report{File: path, Samples: t.Len(), Every: t.Every, Stats: st, Intervals: iv})
+	}
+	fmt.Fprintf(w, "series        %s: %d samples every %d cycles, %d cycles total\n",
+		path, st.Samples, t.Every, st.Cycles)
+	fmt.Fprintf(w, "ipc           steady %.3f, mean %.3f\n", st.SteadyIPC, st.MeanIPC)
+	if st.PeakStallReason != "" {
+		fmt.Fprintf(w, "peak stall    %s %.1f%% of stall cycles at cycle %d\n",
+			st.PeakStallReason, 100*st.PeakStallShare, st.PeakStallCycle)
+	}
+	if st.TotalFaults > 0 {
+		fmt.Fprintf(w, "faults        %d raised in %d phase(s)\n", st.TotalFaults, len(st.FaultPhases))
+		for i, p := range st.FaultPhases {
+			fmt.Fprintf(w, "  phase %-2d    cycles %d-%d: %d faults, mean latency %.0f cycles, ipc %.3f\n",
+				i+1, p.FromCycle, p.ToCycle, p.Faults, p.MeanLatency, p.IPC)
+		}
+	}
+	if len(iv) > 0 {
+		fmt.Fprintf(w, "top %d intervals by stall share:\n", len(iv))
+		fmt.Fprintf(w, "  %12s %8s %10s %6s  %s\n", "cycle", "ipc", "fault/kcyc", "occ", "top stall")
+		for _, s := range iv {
+			stall := "-"
+			if s.TopStall != "" {
+				stall = fmt.Sprintf("%s %.1f%%", s.TopStall, 100*s.TopStallShare)
+			}
+			fmt.Fprintf(w, "  %12d %8.3f %10.2f %6d  %s\n",
+				s.Cycle, s.IPC, s.FaultRate, s.Occupancy, stall)
+		}
+	}
+	return nil
+}
+
+// colDiff is one shared column's A/B comparison.
+type colDiff struct {
+	Column string `json:"column"`
+	// FinalA/FinalB are the column's absolute values at each run's last
+	// sample; Delta is B-A.
+	FinalA int64 `json:"final_a"`
+	FinalB int64 `json:"final_b"`
+	Delta  int64 `json:"delta"`
+	// MaxRelPct is the worst relative deviation (percent) across the
+	// cycle-aligned samples, and AtCycle where it happened.
+	MaxRelPct float64 `json:"max_rel_pct"`
+	AtCycle   int64   `json:"at_cycle"`
+}
+
+// diffResult is the A/B regression comparison of two series.
+type diffResult struct {
+	// Aligned counts samples present at the same cycle in both runs;
+	// OnlyA/OnlyB count samples without a partner.
+	Aligned int `json:"aligned"`
+	OnlyA   int `json:"only_a"`
+	OnlyB   int `json:"only_b"`
+	// CyclesA/CyclesB are the final sampled cycles (a mismatch means
+	// the runs ended at different times — itself a regression).
+	CyclesA int64 `json:"cycles_a"`
+	CyclesB int64 `json:"cycles_b"`
+	// MissingInA/MissingInB are columns the other run has exclusively.
+	MissingInA []string `json:"missing_in_a,omitempty"`
+	MissingInB []string `json:"missing_in_b,omitempty"`
+	// Cols holds every shared column, worst deviation first.
+	Cols []colDiff `json:"columns"`
+}
+
+// maxRelPct is the single worst deviation across all shared columns.
+func (d *diffResult) maxRelPct() float64 {
+	if len(d.Cols) == 0 {
+		return 0
+	}
+	return d.Cols[0].MaxRelPct
+}
+
+// exceeds decides the gate: with a non-negative threshold, differing
+// run lengths, missing columns, or any column deviating beyond the
+// threshold percent fail the diff.
+func (d *diffResult) exceeds(thresholdPct float64) bool {
+	if thresholdPct < 0 {
+		return false
+	}
+	if d.CyclesA != d.CyclesB {
+		return true
+	}
+	if len(d.MissingInA)+len(d.MissingInB) > 0 {
+		return true
+	}
+	return d.maxRelPct() > thresholdPct
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// relPct is |a-b| as a percentage of the larger magnitude (0 when both
+// are 0).
+func relPct(a, b int64) float64 {
+	if a == b {
+		return 0
+	}
+	den := abs64(a)
+	if bb := abs64(b); bb > den {
+		den = bb
+	}
+	return 100 * float64(abs64(a-b)) / float64(den)
+}
+
+// diffSeries aligns two decoded series by cycle and compares every
+// shared column. A is the reference run.
+func diffSeries(a, b *gpues.SeriesTable) diffResult {
+	var d diffResult
+	if n := a.Len(); n > 0 {
+		d.CyclesA = a.Cycles[n-1]
+	}
+	if n := b.Len(); n > 0 {
+		d.CyclesB = b.Cycles[n-1]
+	}
+
+	// Cycle alignment: two-pointer merge over the sorted sample stamps.
+	type pair struct{ ai, bi int }
+	var pairs []pair
+	for ai, bi := 0, 0; ai < a.Len() && bi < b.Len(); {
+		switch {
+		case a.Cycles[ai] == b.Cycles[bi]:
+			pairs = append(pairs, pair{ai, bi})
+			ai++
+			bi++
+		case a.Cycles[ai] < b.Cycles[bi]:
+			ai++
+		default:
+			bi++
+		}
+	}
+	d.Aligned = len(pairs)
+	d.OnlyA = a.Len() - d.Aligned
+	d.OnlyB = b.Len() - d.Aligned
+
+	bCols := map[string]bool{}
+	for _, n := range b.Names {
+		bCols[n] = true
+	}
+	aCols := map[string]bool{}
+	for _, n := range a.Names {
+		aCols[n] = true
+		if !bCols[n] {
+			d.MissingInB = append(d.MissingInB, n)
+		}
+	}
+	for _, n := range b.Names {
+		if !aCols[n] {
+			d.MissingInA = append(d.MissingInA, n)
+		}
+	}
+
+	for _, name := range a.Names {
+		if !bCols[name] {
+			continue
+		}
+		ca, cb := a.Col(name), b.Col(name)
+		cd := colDiff{Column: name}
+		if len(ca) > 0 {
+			cd.FinalA = ca[len(ca)-1]
+		}
+		if len(cb) > 0 {
+			cd.FinalB = cb[len(cb)-1]
+		}
+		cd.Delta = cd.FinalB - cd.FinalA
+		for _, p := range pairs {
+			if pct := relPct(ca[p.ai], cb[p.bi]); pct > cd.MaxRelPct {
+				cd.MaxRelPct = pct
+				cd.AtCycle = a.Cycles[p.ai]
+			}
+		}
+		d.Cols = append(d.Cols, cd)
+	}
+	sort.SliceStable(d.Cols, func(i, j int) bool { return d.Cols[i].MaxRelPct > d.Cols[j].MaxRelPct })
+	return d
+}
+
+// writeDiff renders the A/B comparison.
+func writeDiff(w io.Writer, pathA, pathB string, d diffResult, top int, asJSON bool) error {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&d)
+	}
+	fmt.Fprintf(w, "A             %s (ends at cycle %d)\n", pathA, d.CyclesA)
+	fmt.Fprintf(w, "B             %s (ends at cycle %d)\n", pathB, d.CyclesB)
+	fmt.Fprintf(w, "aligned       %d samples (%d only in A, %d only in B)\n", d.Aligned, d.OnlyA, d.OnlyB)
+	if d.CyclesA != d.CyclesB {
+		fmt.Fprintf(w, "REGRESSION    runs end %+d cycles apart\n", d.CyclesB-d.CyclesA)
+	}
+	for _, n := range d.MissingInA {
+		fmt.Fprintf(w, "missing in A  %s\n", n)
+	}
+	for _, n := range d.MissingInB {
+		fmt.Fprintf(w, "missing in B  %s\n", n)
+	}
+	if d.maxRelPct() == 0 {
+		fmt.Fprintf(w, "columns       all %d shared columns identical across aligned samples\n", len(d.Cols))
+		return nil
+	}
+	shown := d.Cols
+	if len(shown) > top {
+		shown = shown[:top]
+	}
+	fmt.Fprintf(w, "top %d columns by deviation:\n", len(shown))
+	fmt.Fprintf(w, "  %-32s %14s %14s %10s %9s %12s\n", "column", "final A", "final B", "delta", "max dev", "at cycle")
+	for _, c := range shown {
+		fmt.Fprintf(w, "  %-32s %14d %14d %+10d %8.3f%% %12d\n",
+			c.Column, c.FinalA, c.FinalB, c.Delta, c.MaxRelPct, c.AtCycle)
+	}
+	return nil
+}

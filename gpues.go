@@ -24,6 +24,8 @@
 package gpues
 
 import (
+	"io"
+
 	"gpues/internal/cacti"
 	"gpues/internal/chaos"
 	"gpues/internal/ckpt"
@@ -259,6 +261,52 @@ func NewTracer(o TracerOptions) *Tracer { return obs.New(o) }
 // groups (all, pipeline, stall, fault, replay, switch, migrate, local)
 // into a TracerOptions.Filter mask. Empty means everything.
 func ParseTraceFilter(s string) (uint64, error) { return obs.ParseFilter(s) }
+
+// Telemetry ------------------------------------------------------------
+
+// SeriesView is the immutable view of the sampled telemetry series a
+// run accumulates when Config.SampleEvery > 0 (Result.Series). Export
+// it with WriteNDJSON or WriteCSV, or analyze it via Table.
+type SeriesView = obs.SeriesView
+
+// SeriesTable is a decoded telemetry series: absolute cycle stamps and
+// per-column absolute values (SeriesView.Table, ReadSeriesNDJSON).
+type SeriesTable = obs.SeriesTable
+
+// SamplePoint is one decoded sample — the shape a watchdog
+// StallReport embeds as its LastSample.
+type SamplePoint = obs.SamplePoint
+
+// IntervalStats is the derived per-interval analytics row (IPC,
+// fault rate, stall attribution) produced by AnalyzeSeries.
+type IntervalStats = obs.IntervalStats
+
+// SeriesStats is the whole-run summary produced by SummarizeSeries:
+// steady-state IPC, peak stall attribution, and fault phases.
+type SeriesStats = obs.SeriesStats
+
+// FaultPhase is one contiguous span of fault-active intervals inside
+// SeriesStats.
+type FaultPhase = obs.FaultPhase
+
+// AnalyzeSeries derives per-interval rates from a decoded series.
+func AnalyzeSeries(t *SeriesTable) []IntervalStats { return obs.Analyze(t) }
+
+// SummarizeSeries reduces a decoded series to its run-level stats.
+func SummarizeSeries(t *SeriesTable) SeriesStats { return obs.Summarize(t) }
+
+// ReadSeriesNDJSON decodes a series previously written by
+// SeriesView.WriteNDJSON (the gpusim -series format).
+func ReadSeriesNDJSON(r io.Reader) (*SeriesTable, error) { return obs.ReadSeriesNDJSON(r) }
+
+// TelemetrySnapshot is the read-only state generation a running
+// simulation hands to its TelemetrySink at every publish interval.
+type TelemetrySnapshot = sim.TelemetrySnapshot
+
+// TelemetrySink receives telemetry snapshots on the simulation
+// goroutine; see Simulator.SetTelemetrySink and the internal/obsrv
+// live introspection server.
+type TelemetrySink = sim.TelemetrySink
 
 // Workloads --------------------------------------------------------------
 

@@ -269,6 +269,15 @@ type Config struct {
 	// any other.
 	Workers int
 
+	// SampleEvery, when positive, samples every registered metric into
+	// the in-memory telemetry series each time the main loop crosses a
+	// multiple of this many cycles (at the sequential post-tick flush
+	// point, so sampling is bit-identical at any worker count and a
+	// sampled run's cycles and digests match an unsampled one's).
+	// 0 disables the sampler. Like Workers, SampleEvery is excluded
+	// from the checkpoint config fingerprint.
+	SampleEvery int64
+
 	// MaxCycles aborts the simulation past this many cycles (a last-ditch
 	// livelock bound; the progress watchdog normally fires far earlier).
 	// 0 selects the simulator default.
@@ -433,6 +442,9 @@ func (c *Config) Validate() error {
 	case c.Workers < 0:
 		return fmt.Errorf("config: worker count %d must not be negative (0 or 1 = sequential)",
 			c.Workers)
+	case c.SampleEvery < 0:
+		return fmt.Errorf("config: sample period %d must not be negative (0 = sampling off)",
+			c.SampleEvery)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"gpues/internal/chaos"
 	"gpues/internal/config"
@@ -48,6 +49,9 @@ func Chaos(opt Options) (*Result, error) {
 	sem := make(chan struct{}, opt.Parallelism)
 	results := make(chan cell, len(benches)*len(schemes))
 	var wg sync.WaitGroup
+	var done atomic.Int64
+	// Campaign progress counts clean/chaos halves: two per cell.
+	total := len(benches) * len(schemes) * 2
 	for _, bench := range benches {
 		for _, scheme := range schemes {
 			bench, scheme := bench, scheme
@@ -63,6 +67,9 @@ func Chaos(opt Options) (*Result, error) {
 				cfg.Scheduler.Enabled = true
 				if opt.Workers > 1 {
 					cfg.Workers = opt.Workers
+				}
+				if opt.SampleEvery > 0 {
+					cfg.SampleEvery = opt.SampleEvery
 				}
 
 				run := func(plan *chaos.Plan) (int64, error) {
@@ -93,6 +100,8 @@ func Chaos(opt Options) (*Result, error) {
 								opt.Progress(fmt.Sprintf("%-14s %-14s %12d cycles (done, skipped)",
 									bench, j.col, cycles))
 							}
+							opt.campaignStep(&done, total,
+								fmt.Sprintf("%s/%s %d cycles (done, skipped)", bench, j.col, cycles))
 							return cycles, nil
 						}
 					}
@@ -105,6 +114,8 @@ func Chaos(opt Options) (*Result, error) {
 							return 0, fmt.Errorf("recording completion: %w", err)
 						}
 					}
+					opt.campaignStep(&done, total,
+						fmt.Sprintf("%s/%s %d cycles", bench, j.col, cycles))
 					return cycles, nil
 				}
 

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gpues/internal/config"
 	"gpues/internal/excep"
@@ -78,6 +79,16 @@ type Options struct {
 	// (the zero value is precise; preemptible switches trials to the
 	// replay-queue scheme).
 	ExcepMode excep.Mode
+	// SampleEvery, when positive, enables metric sampling inside every
+	// simulation (config.Config.SampleEvery). Purely observational:
+	// sampled campaigns report the same cycle counts as unsampled ones.
+	SampleEvery int64
+	// CampaignProgress, when set, receives (done, total, line) after
+	// every finished unit of campaign work — one simulation for the
+	// figure campaigns, one trial for the resilience campaign, one
+	// clean/chaos half for the chaos sweep. The live introspection
+	// server's SetCampaign has exactly this shape.
+	CampaignProgress func(done, total int, last string)
 }
 
 // defaultCheckpointEvery is the in-flight checkpoint period when
@@ -89,6 +100,16 @@ func (o Options) checkpointEvery() int64 {
 		return o.CheckpointEvery
 	}
 	return defaultCheckpointEvery
+}
+
+// campaignStep reports one finished unit of campaign work to the
+// CampaignProgress hook; done is the campaign-wide atomic counter the
+// concurrent workers share.
+func (o Options) campaignStep(done *atomic.Int64, total int, last string) {
+	if o.CampaignProgress == nil {
+		return
+	}
+	o.CampaignProgress(int(done.Add(1)), total, last)
 }
 
 func (o Options) normalize() Options {
@@ -187,6 +208,9 @@ func buildSpec(opt Options, j runJob) (sim.LaunchSpec, error) {
 func runOne(opt Options, fig string, j runJob) (*sim.Result, error) {
 	if opt.Workers > 1 {
 		j.cfg.Workers = opt.Workers
+	}
+	if opt.SampleEvery > 0 {
+		j.cfg.SampleEvery = opt.SampleEvery
 	}
 	spec, err := buildSpec(opt, j)
 	if err != nil {
@@ -340,6 +364,8 @@ func runAll(opt Options, fig string, jobs []runJob) (map[string]map[string]int64
 	sem := make(chan struct{}, opt.Parallelism)
 	results := make(chan out, len(jobs))
 	var wg sync.WaitGroup
+	var done atomic.Int64
+	total := len(jobs)
 	for _, j := range jobs {
 		j := j
 		wg.Add(1)
@@ -349,9 +375,11 @@ func runAll(opt Options, fig string, jobs []runJob) (map[string]map[string]int64
 			defer func() { <-sem }()
 			if opt.ResumeDir != "" {
 				if cycles, ok := readDone(opt, fig, j); ok {
+					line := fmt.Sprintf("%-14s %-14s %12d cycles (done, skipped)", j.bench, j.col, cycles)
 					if opt.Progress != nil {
-						opt.Progress(fmt.Sprintf("%-14s %-14s %12d cycles (done, skipped)", j.bench, j.col, cycles))
+						opt.Progress(line)
 					}
+					opt.campaignStep(&done, total, line)
 					results <- out{j.bench, j.col, cycles, nil}
 					return
 				}
@@ -367,9 +395,11 @@ func runAll(opt Options, fig string, jobs []runJob) (map[string]map[string]int64
 					return
 				}
 			}
+			line := fmt.Sprintf("%-14s %-14s %12d cycles", j.bench, j.col, r.Cycles)
 			if opt.Progress != nil {
-				opt.Progress(fmt.Sprintf("%-14s %-14s %12d cycles", j.bench, j.col, r.Cycles))
+				opt.Progress(line)
 			}
+			opt.campaignStep(&done, total, line)
 			results <- out{j.bench, j.col, r.Cycles, nil}
 		}()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"gpues/internal/config"
 	"gpues/internal/excep"
@@ -88,6 +89,9 @@ func Resilience(opt Options) (*Result, error) {
 	sem := make(chan struct{}, opt.Parallelism)
 	results := make(chan cell, len(benches)*len(prots))
 	var wg sync.WaitGroup
+	var doneTrials atomic.Int64
+	// Campaign progress counts individual trials.
+	totalTrials := len(benches) * len(prots) * trials
 	for _, bench := range benches {
 		for _, prot := range prots {
 			bench, prot := bench, prot
@@ -129,10 +133,12 @@ func Resilience(opt Options) (*Result, error) {
 						return
 					}
 					counts[tr.Outcome]++
+					line := fmt.Sprintf("%-20s trial %d: %-9v flips=%d cycles=%d",
+						row, trial, tr.Outcome, tr.Flips, tr.Cycles)
 					if opt.Progress != nil {
-						opt.Progress(fmt.Sprintf("%-20s trial %d: %-9v flips=%d cycles=%d",
-							row, trial, tr.Outcome, tr.Flips, tr.Cycles))
+						opt.Progress(line)
 					}
+					opt.campaignStep(&doneTrials, totalTrials, line)
 				}
 				results <- cell{row, counts, nil}
 			}()

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Well-known series columns the derived-rate analytics key on. They
+// match the metric names the simulator registers; a series missing one
+// simply reports zero for the derived quantity.
+const (
+	// ColCommitted is the cumulative committed-instruction column.
+	ColCommitted = "sm.committed"
+	// ColFaultsRaised is the cumulative raised-page-fault column.
+	ColFaultsRaised = "faultunit.raised"
+	// ColOccupancy is the instantaneous resident-blocks gauge column.
+	ColOccupancy = "sm.occupancy_blocks"
+	// ColFaultLatCount/Sum are the fault-latency histogram columns.
+	ColFaultLatCount = "fault.latency_cycles.count"
+	ColFaultLatSum   = "fault.latency_cycles.sum"
+	// StallColPrefix prefixes the per-reason stall-cycle columns.
+	StallColPrefix = "sm.stall."
+)
+
+// SeriesTable is a decoded series: absolute values per sample, one
+// column per metric. Tables come from SeriesView.Table (in-process) or
+// ReadSeriesNDJSON (files).
+type SeriesTable struct {
+	Every  int64
+	Names  []string
+	Cycles []int64
+	Cols   [][]int64
+}
+
+// Len returns the number of samples.
+func (t *SeriesTable) Len() int { return len(t.Cycles) }
+
+// Col returns the named column, or nil.
+func (t *SeriesTable) Col(name string) []int64 {
+	for i, n := range t.Names {
+		if n == name {
+			return t.Cols[i]
+		}
+	}
+	return nil
+}
+
+// IntervalStats are the derived rates of one sampling interval — the
+// span between two consecutive samples (the first interval starts at
+// cycle 0).
+type IntervalStats struct {
+	// Cycle is the interval's end cycle; Cycles its length.
+	Cycle  int64
+	Cycles int64
+	// Committed and Faults are the interval's deltas.
+	Committed int64
+	Faults    int64
+	// IPC is committed instructions per cycle over the interval.
+	IPC float64
+	// FaultRate is raised faults per kilocycle over the interval.
+	FaultRate float64
+	// Occupancy is the resident-blocks gauge at the interval's end.
+	Occupancy int64
+	// TopStall is the stall reason with the largest share of the
+	// interval's stall events; TopStallShare its fraction of them.
+	TopStall      string
+	TopStallShare float64
+	// StallShares maps each stall reason (short name, without the
+	// column prefix) to its fraction of the interval's stall events.
+	// Reasons with no events in the interval are omitted.
+	StallShares map[string]float64
+}
+
+// Analyze derives per-interval rates from a decoded series.
+func Analyze(t *SeriesTable) []IntervalStats {
+	if t == nil || t.Len() == 0 {
+		return nil
+	}
+	committed := t.Col(ColCommitted)
+	faults := t.Col(ColFaultsRaised)
+	occ := t.Col(ColOccupancy)
+	var stallNames []string
+	var stallCols [][]int64
+	for i, n := range t.Names {
+		if strings.HasPrefix(n, StallColPrefix) {
+			stallNames = append(stallNames, strings.TrimPrefix(n, StallColPrefix))
+			stallCols = append(stallCols, t.Cols[i])
+		}
+	}
+	delta := func(col []int64, i int) int64 {
+		if col == nil {
+			return 0
+		}
+		if i == 0 {
+			return col[0]
+		}
+		return col[i] - col[i-1]
+	}
+	out := make([]IntervalStats, t.Len())
+	for i := range out {
+		st := IntervalStats{Cycle: t.Cycles[i], Cycles: delta(t.Cycles, i)}
+		st.Committed = delta(committed, i)
+		st.Faults = delta(faults, i)
+		if occ != nil {
+			st.Occupancy = occ[i]
+		}
+		if st.Cycles > 0 {
+			st.IPC = float64(st.Committed) / float64(st.Cycles)
+			st.FaultRate = 1000 * float64(st.Faults) / float64(st.Cycles)
+		}
+		var total int64
+		ds := make([]int64, len(stallCols))
+		for c, col := range stallCols {
+			ds[c] = delta(col, i)
+			total += ds[c]
+		}
+		if total > 0 {
+			st.StallShares = make(map[string]float64, len(stallCols))
+			for c, d := range ds {
+				if d == 0 {
+					continue
+				}
+				share := float64(d) / float64(total)
+				st.StallShares[stallNames[c]] = share
+				// Ties break toward the lexicographically first reason
+				// (stallNames is sorted), keeping the pick deterministic.
+				if share > st.TopStallShare {
+					st.TopStall, st.TopStallShare = stallNames[c], share
+				}
+			}
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// intervals is Analyze over the view (export-path convenience).
+func (v SeriesView) intervals() []IntervalStats {
+	return Analyze(v.Table())
+}
+
+// FaultPhase is one contiguous run of sampling intervals with fault
+// activity — a paging or lazy-allocation burst.
+type FaultPhase struct {
+	// FromCycle..ToCycle spans the phase (interval boundaries).
+	FromCycle int64
+	ToCycle   int64
+	// Faults raised during the phase.
+	Faults int64
+	// MeanLatency is the mean fault service latency of the regions that
+	// resolved during the phase, in cycles (0 when none resolved).
+	MeanLatency float64
+	// IPC is the committed rate across the phase.
+	IPC float64
+}
+
+// SeriesStats is the summary simstat and the benchmarks report.
+type SeriesStats struct {
+	Samples int
+	Cycles  int64
+	// SteadyIPC is the median per-interval IPC — robust against the
+	// fault-burst and drain phases that drag the whole-run mean down.
+	SteadyIPC float64
+	// MeanIPC is committed/cycles over the sampled span.
+	MeanIPC float64
+	// PeakStall is the interval-level maximum single-reason stall
+	// share, with its reason and the cycle it peaked at.
+	PeakStallReason string
+	PeakStallShare  float64
+	PeakStallCycle  int64
+	// TotalFaults is the raised-fault count over the sampled span.
+	TotalFaults int64
+	// FaultPhases are the contiguous fault-activity bursts.
+	FaultPhases []FaultPhase
+}
+
+// Summarize condenses a decoded series into its headline statistics.
+func Summarize(t *SeriesTable) SeriesStats {
+	iv := Analyze(t)
+	var s SeriesStats
+	if len(iv) == 0 {
+		return s
+	}
+	s.Samples = len(iv)
+	s.Cycles = iv[len(iv)-1].Cycle
+	var committed int64
+	ipcs := make([]float64, 0, len(iv))
+	for _, st := range iv {
+		committed += st.Committed
+		s.TotalFaults += st.Faults
+		if st.Cycles > 0 {
+			ipcs = append(ipcs, st.IPC)
+		}
+		if st.TopStallShare > s.PeakStallShare {
+			s.PeakStallReason, s.PeakStallShare, s.PeakStallCycle = st.TopStall, st.TopStallShare, st.Cycle
+		}
+	}
+	if s.Cycles > 0 {
+		s.MeanIPC = float64(committed) / float64(s.Cycles)
+	}
+	if len(ipcs) > 0 {
+		sort.Float64s(ipcs)
+		mid := len(ipcs) / 2
+		if len(ipcs)%2 == 1 {
+			s.SteadyIPC = ipcs[mid]
+		} else {
+			s.SteadyIPC = (ipcs[mid-1] + ipcs[mid]) / 2
+		}
+	}
+	s.FaultPhases = faultPhases(t, iv)
+	return s
+}
+
+// faultPhases segments the intervals into contiguous fault-activity
+// runs and attributes service latency to each from the fault-latency
+// histogram columns.
+func faultPhases(t *SeriesTable, iv []IntervalStats) []FaultPhase {
+	latCount := t.Col(ColFaultLatCount)
+	latSum := t.Col(ColFaultLatSum)
+	delta := func(col []int64, i int) int64 {
+		if col == nil {
+			return 0
+		}
+		if i == 0 {
+			return col[0]
+		}
+		return col[i] - col[i-1]
+	}
+	var phases []FaultPhase
+	var cur *FaultPhase
+	var curLatN, curLatSum, curCommitted, curCycles int64
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		if curLatN > 0 {
+			cur.MeanLatency = float64(curLatSum) / float64(curLatN)
+		}
+		if curCycles > 0 {
+			cur.IPC = float64(curCommitted) / float64(curCycles)
+		}
+		phases = append(phases, *cur)
+		cur = nil
+	}
+	for i, st := range iv {
+		active := st.Faults > 0 || delta(latCount, i) > 0
+		if !active {
+			flush()
+			continue
+		}
+		if cur == nil {
+			cur = &FaultPhase{FromCycle: st.Cycle - st.Cycles}
+			curLatN, curLatSum, curCommitted, curCycles = 0, 0, 0, 0
+		}
+		cur.ToCycle = st.Cycle
+		cur.Faults += st.Faults
+		curLatN += delta(latCount, i)
+		curLatSum += delta(latSum, i)
+		curCommitted += st.Committed
+		curCycles += st.Cycles
+	}
+	flush()
+	return phases
+}

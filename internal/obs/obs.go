@@ -394,6 +394,38 @@ func (t *Tracer) LastN(n int) []Event {
 	return ev
 }
 
+// Tail returns the newest n events across all rings, oldest first,
+// without merging entire rings: each ring contributes at most its
+// newest n events (a superset of the global tail), and the merged
+// candidates are cut down to n. Cost is O(rings*n log(rings*n))
+// regardless of ring fill, so the live-telemetry publish path can
+// afford it every interval. Result equals LastN(n).
+func (t *Tracer) Tail(n int) []Event {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.rings)*n)
+	for i := range t.rings {
+		r := &t.rings[i]
+		have := r.n
+		if c := uint64(len(r.buf)); have > c {
+			have = c
+		}
+		take := uint64(n)
+		if take > have {
+			take = have
+		}
+		for j := uint64(0); j < take; j++ {
+			out = append(out, r.buf[(r.n-take+j)%uint64(len(r.buf))])
+		}
+	}
+	sortEventsBySeq(out)
+	if len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
 // sortEventsBySeq sorts by the global sequence number (a total order).
 func sortEventsBySeq(ev []Event) {
 	sort.Slice(ev, func(i, j int) bool { return ev[i].Seq < ev[j].Seq })

@@ -124,6 +124,10 @@ type ChaosRunOptions struct {
 	// checkpoint is used) to restore before running. The plan must be
 	// built from the same config and seed as the checkpointing run.
 	Resume string
+	// Telemetry, when non-nil, receives telemetry snapshots every
+	// TelemetryEvery cycles (<= 0 selects the simulator default).
+	Telemetry      TelemetrySink
+	TelemetryEvery int64
 }
 
 // RunChaosOpts is RunChaosTraced plus checkpoint/resume knobs.
@@ -150,6 +154,9 @@ func RunChaosOpts(cfg config.Config, spec LaunchSpec, plan *chaos.Plan, opt Chao
 	s.AttachTracer(tr)
 	s.CheckpointEvery = opt.CheckpointEvery
 	s.CheckpointDir = opt.CheckpointDir
+	if opt.Telemetry != nil {
+		s.SetTelemetrySink(opt.Telemetry, opt.TelemetryEvery)
+	}
 	if opt.Resume != "" {
 		path, rerr := ResolveCheckpoint(opt.Resume)
 		if rerr != nil {

@@ -73,6 +73,9 @@ type Result struct {
 	// Metrics is the full registry snapshot: component counters plus the
 	// fault-latency and occupancy histograms.
 	Metrics obs.Snapshot
+	// Series is the sampled telemetry series (a zero view unless
+	// Config.SampleEvery was positive).
+	Series obs.SeriesView
 }
 
 // IPC returns committed warp instructions per cycle across the GPU.
@@ -140,6 +143,16 @@ type Simulator struct {
 	// tracer (nil unless AttachTracer was called).
 	reg    *obs.Registry
 	tracer *obs.Tracer
+
+	// sampler is the interval telemetry sampler (nil unless
+	// Config.SampleEvery > 0); nextSample is the cycle at or after
+	// which the next sample is due. sink, when attached, receives
+	// telemetry snapshots every sinkEvery cycles (see telemetry.go).
+	sampler     *obs.Sampler
+	nextSample  int64
+	sink        TelemetrySink
+	sinkEvery   int64
+	nextPublish int64
 
 	// CheckpointEvery, when positive with CheckpointDir set, writes a
 	// checkpoint into CheckpointDir every that-many cycles (at the next
@@ -331,13 +344,20 @@ func New(cfg config.Config, spec LaunchSpec) (*Simulator, error) {
 		s.sms[i].SetWakeHook(func() { s.active[w] |= 1 << bit })
 	}
 	s.registerMetrics()
+	if cfg.SampleEvery > 0 {
+		// Build after registerMetrics: the sampler freezes its column
+		// set over the instruments registered so far.
+		s.sampler = obs.NewSampler(cfg.SampleEvery, s.reg)
+	}
 	s.nonces = make(map[string]uint64)
-	// The worker count never changes simulation results (the parallel
-	// tick phase is bit-identical to sequential), so it is excluded from
-	// the config fingerprint: a checkpoint taken at one worker count
-	// restores under any other.
+	// Neither the worker count nor the sampling period ever changes
+	// simulation results (the parallel tick phase is bit-identical to
+	// sequential, and the sampler only reads), so both are excluded
+	// from the config fingerprint: a checkpoint taken at one worker
+	// count or sampling period restores under any other.
 	fpCfg := cfg
 	fpCfg.Workers = 0
+	fpCfg.SampleEvery = 0
 	s.cfgFP = ckpt.Digest([]byte(fmt.Sprintf("%#v", fpCfg)))
 	s.specFP = s.fingerprintSpec()
 	return s, nil
@@ -377,6 +397,13 @@ func (s *Simulator) registerMetrics() {
 		}
 	}
 	s.reg.Gauge("excep.pending", func() int64 { return int64(s.board.Pending()) })
+	s.reg.Gauge("sm.occupancy_blocks", func() int64 {
+		var t int64
+		for _, m := range s.sms {
+			t += int64(m.Occupancy())
+		}
+		return t
+	})
 	s.reg.Gauge("emu.flips", s.emul.Flips)
 	s.reg.Gauge("sm.committed", smSum(func(st sm.Stats) int64 { return st.Committed }))
 	s.reg.Gauge("sm.exceptions", smSum(func(st sm.Stats) int64 { return st.Exceptions }))
@@ -523,6 +550,10 @@ func (s *Simulator) StepTo(stop int64) (bool, error) {
 		if err := s.firstError(); err != nil {
 			return false, err
 		}
+		// Telemetry fires here — after the tick phase and, for parallel
+		// runs, after the ordered ledger flush — so samples observe
+		// exactly the sequential sweep's state at this cycle.
+		s.maybeTelemetry(now)
 		if s.finished() {
 			break
 		}
@@ -563,6 +594,7 @@ func (s *Simulator) Run() (*Result, error) {
 			return nil, s.stallError("invariant", v)
 		}
 	}
+	s.closeTelemetry()
 	return s.collect(), nil
 }
 
@@ -636,6 +668,7 @@ func (s *Simulator) collect() *Result {
 	}
 	r.Flips = s.emul.Flips()
 	r.Metrics = s.reg.Snapshot()
+	r.Series = s.sampler.View()
 	if len(s.sms) > 0 {
 		sum := 0
 		r.OccupancyMin = s.sms[0].Occupancy()

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gpues/internal/config"
+	"gpues/internal/vm"
+)
+
+// TestStallReportEmbedsLastSample forces the watchdog livelock of
+// TestWatchdogConvertsLivelock on a sampled run and checks the stall
+// report carries the metric trajectory into the stall.
+func TestStallReportEmbedsLastSample(t *testing.T) {
+	cfg := config.Default()
+	cfg.ProgressWindow = 50_000
+	cfg.SampleEvery = 10_000
+	s, err := New(cfg, testSpec(t, 4, 128, vm.RegionGPUInit, vm.RegionGPUInit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range s.sms {
+		m.SetChaos(stallAll{})
+	}
+	_, err = s.Run()
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("livelock returned %v, want *StallError", err)
+	}
+	p := se.Report.LastSample
+	if p.Values == nil {
+		t.Fatal("stall report has no last sample despite SampleEvery > 0")
+	}
+	if p.Cycle < cfg.SampleEvery {
+		t.Errorf("last sample at cycle %d, want at least one period (%d)", p.Cycle, cfg.SampleEvery)
+	}
+	if _, ok := p.Values["sm.committed"]; !ok {
+		t.Errorf("last sample misses sm.committed: %v", p.Values)
+	}
+	if !strings.Contains(se.Report.String(), "last sample at cycle") {
+		t.Errorf("report does not render the sample:\n%s", se.Report)
+	}
+
+	// Without sampling, the report stays sample-free.
+	cfg.SampleEvery = 0
+	s2, err := New(cfg, testSpec(t, 4, 128, vm.RegionGPUInit, vm.RegionGPUInit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range s2.sms {
+		m.SetChaos(stallAll{})
+	}
+	_, err = s2.Run()
+	if !errors.As(err, &se) {
+		t.Fatalf("livelock returned %v, want *StallError", err)
+	}
+	if se.Report.LastSample.Values != nil {
+		t.Error("unsampled stall report carries a sample")
+	}
+}

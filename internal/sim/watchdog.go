@@ -84,6 +84,10 @@ type StallReport struct {
 	// Trace holds the newest tracer events at the time of the stall
 	// (empty when no tracer was attached) — the flight recorder.
 	Trace []obs.Event
+	// LastSample is the most recent telemetry sample (zero unless
+	// Config.SampleEvery was positive) — the metric trajectory into
+	// the stall, complementing the event tail above.
+	LastSample obs.SamplePoint
 }
 
 // String renders the full multi-line report.
@@ -111,6 +115,9 @@ func (r StallReport) String() string {
 			continue // an SM with no work cannot be the culprit
 		}
 		fmt.Fprintf(&b, "\n%s", snap)
+	}
+	if r.LastSample.Values != nil {
+		fmt.Fprintf(&b, "\n  last %s", r.LastSample)
 	}
 	if len(r.Trace) > 0 {
 		fmt.Fprintf(&b, "\n  last %d trace events:", len(r.Trace))
@@ -158,6 +165,9 @@ func (s *Simulator) stallError(reason string, violations []string) error {
 		rep.Window = s.progressWindow
 	}
 	rep.Trace = s.tracer.LastN(stallTraceEvents)
+	if s.sampler.Len() > 0 {
+		rep.LastSample = s.sampler.Last()
+	}
 	for _, m := range s.sms {
 		st := m.Stats()
 		rep.Committed += st.Committed
