@@ -1,5 +1,6 @@
 // Command simlint runs the simulator's static-analysis suite
-// (internal/analysis: determinism, poolsafe, noalloc, enumswitch).
+// (internal/analysis: determinism, poolsafe, noalloc, enumswitch,
+// directive, ckptcomplete, shardpurity).
 //
 // Two modes:
 //
@@ -51,9 +52,10 @@ func main() {
 	}
 
 	var (
-		jsonOut = flag.Bool("json", false, "emit JSON diagnostics (vettool protocol)")
-		_       = flag.Int("c", -1, "display offending line with this many lines of context (accepted for vet compatibility)")
-		list    = flag.Bool("analyzers", false, "list the analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit JSON diagnostics (vettool protocol)")
+		_        = flag.Int("c", -1, "display offending line with this many lines of context (accepted for vet compatibility)")
+		list     = flag.Bool("list", false, "list the registered analyzers with one-line docs and exit 0")
+		listAlso = flag.Bool("analyzers", false, "alias for -list")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: simlint [flags] ./... | simlint <vet>.cfg\n\nAnalyzers:\n")
@@ -64,10 +66,8 @@ func main() {
 	}
 	flag.Parse()
 
-	if *list {
-		for _, a := range registry.All() {
-			fmt.Printf("%s: %s\n", a.Name, a.Doc)
-		}
+	if *list || *listAlso {
+		listAnalyzers(os.Stdout)
 		return
 	}
 
@@ -81,7 +81,24 @@ func main() {
 	os.Exit(standalone(args))
 }
 
-// standalone loads packages from source and runs the suite.
+// listAnalyzers prints the registered analyzers with their one-line
+// docs (the -list contract: exit 0, one analyzer per line).
+func listAnalyzers(w io.Writer) {
+	for _, a := range registry.All() {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(w, "%s: %s\n", a.Name, doc)
+	}
+}
+
+// standalone loads packages from source and runs the suite
+// whole-program: every module-local package in the requested set's
+// import closure gets a fact-producing Run phase (in dependency order,
+// so facts flow forward), then each interprocedural analyzer finishes
+// over the assembled program. Diagnostics are only printed for the
+// packages the user asked for.
 func standalone(patterns []string) int {
 	moduleDir, modulePath, err := analysis.FindModule(".")
 	if err != nil {
@@ -95,6 +112,7 @@ func standalone(patterns []string) int {
 	}
 	loader := analysis.NewLoader(moduleDir, modulePath)
 	exit := 0
+	requested := map[string]bool{}
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(moduleDir, dir)
 		if err != nil {
@@ -105,15 +123,45 @@ func standalone(patterns []string) int {
 		if rel != "." {
 			path = modulePath + "/" + filepath.ToSlash(rel)
 		}
-		lp, err := loader.LoadDir(dir, path, nil)
-		if err != nil {
+		if _, err := loader.LoadDir(dir, path, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "simlint:", err)
 			exit = 1
 			continue
 		}
-		if reportAll(lp) > 0 && exit == 0 {
-			exit = 2
+		requested[path] = true
+	}
+
+	// Run phases over the full closure, reporting only requested
+	// packages; dependency packages still run so their facts exist.
+	facts := analysis.NewFactStore()
+	found := 0
+	pkgs := loader.Packages()
+	for _, lp := range pkgs {
+		found += reportAll(lp, facts, requested[lp.Path])
+	}
+
+	// Finish phases over the whole program.
+	prog := analysis.NewProgram(loader.Fset, pkgs, facts)
+	for _, a := range registry.All() {
+		diags, err := analysis.RunFinish(a, prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			if exit == 0 {
+				exit = 1
+			}
+			continue
 		}
+		for _, d := range diags {
+			lp := prog.PackageAt(d.Pos)
+			if lp == nil || !requested[lp.Path] {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", prog.Fset.Position(d.Pos), a.Name, d.Message)
+			found++
+		}
+	}
+	if found > 0 && exit == 0 {
+		exit = 2
 	}
 	return exit
 }
@@ -180,14 +228,18 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
-// reportAll runs every analyzer over one loaded package and prints the
-// surviving diagnostics; returns how many were printed.
-func reportAll(lp *analysis.LoadedPackage) int {
+// reportAll runs every analyzer over one loaded package (populating the
+// shared fact store) and, when report is set, prints the surviving
+// diagnostics; returns how many were printed.
+func reportAll(lp *analysis.LoadedPackage, facts *analysis.FactStore, report bool) int {
 	n := 0
 	for _, a := range registry.All() {
-		diags, err := analysis.RunAnalyzer(a, lp)
+		diags, err := analysis.RunAnalyzer(a, lp, facts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", lp.Path, err)
+			continue
+		}
+		if !report {
 			continue
 		}
 		for _, d := range diags {
@@ -231,18 +283,6 @@ func unitCheck(cfgFile string, jsonOut bool) int {
 		fmt.Fprintf(os.Stderr, "simlint: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// Facts protocol: simlint analyzers use no cross-package facts, but
-	// the go command caches and expects the .vetx output regardless.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "simlint:", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
-
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -264,7 +304,15 @@ func unitCheck(cfgFile string, jsonOut bool) int {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return 0 // external test package: nothing in scope
+		// External test package: nothing in scope, but the go command
+		// still expects the facts file to exist.
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "simlint:", err)
+				return 1
+			}
+		}
+		return 0
 	}
 
 	compiler := cfg.Compiler
@@ -297,17 +345,58 @@ func unitCheck(cfgFile string, jsonOut bool) int {
 	}
 
 	lp := &analysis.LoadedPackage{Path: cfg.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info}
+
+	// Facts protocol: decode upstream .vetx fact files into the store
+	// before running, so interprocedural analyzers see their
+	// dependencies' summaries; encode this package's facts afterwards.
+	// registry.All registers the fact types with gob — it must run
+	// before the first DecodeFacts call.
+	analyzers := registry.All()
+	facts := analysis.NewFactStore()
+	byImport := map[string]*types.Package{}
+	var index func(p *types.Package)
+	index = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if byImport[imp.Path()] != nil {
+				continue
+			}
+			byImport[imp.Path()] = imp
+			index(imp)
+		}
+	}
+	index(pkg)
+	lookup := func(path string) *types.Package { return byImport[path] }
+	// Sorted for deterministic decode order.
+	var vetxPaths []string
+	for p := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, p)
+	}
+	sort.Strings(vetxPaths)
+	for _, p := range vetxPaths {
+		data, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil || len(data) == 0 {
+			continue // dependency produced no facts (or pre-facts cache entry)
+		}
+		if err := facts.DecodeFacts(data, lookup); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: decoding facts for %s: %v\n", p, err)
+			return 1
+		}
+	}
+
 	type jsonDiag struct {
 		Posn    string `json:"posn"`
 		Message string `json:"message"`
 	}
 	found := 0
 	byAnalyzer := map[string][]jsonDiag{}
-	for _, a := range registry.All() {
-		diags, err := analysis.RunAnalyzer(a, lp)
+	for _, a := range analyzers {
+		diags, err := analysis.RunAnalyzer(a, lp, facts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", cfg.ImportPath, err)
 			continue
+		}
+		if cfg.VetxOnly {
+			continue // facts produced; diagnostics belong to the reporting run
 		}
 		for _, d := range diags {
 			found++
@@ -319,6 +408,51 @@ func unitCheck(cfgFile string, jsonOut bool) int {
 			}
 		}
 	}
+
+	if cfg.VetxOutput != "" {
+		// Re-export the whole store (own facts plus upstream ones) so
+		// downstream units see transitive summaries even when the go
+		// command only hands them direct-dependency .vetx files.
+		data, err := facts.EncodeFacts(map[*types.Package]bool{pkg: true}, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Finish phase over the single-unit program: interprocedural
+	// analyzers prove what they can from this package plus imported
+	// facts. (Whole-program guarantees — e.g. implementations declared
+	// in packages that import this one — need standalone mode, which CI
+	// uses.)
+	prog := analysis.NewProgram(fset, []*analysis.LoadedPackage{lp}, facts)
+	for _, a := range analyzers {
+		diags, err := analysis.RunFinish(a, prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", cfg.ImportPath, err)
+			continue
+		}
+		for _, d := range diags {
+			if lp2 := prog.PackageAt(d.Pos); lp2 == nil {
+				continue // position outside this unit's files
+			}
+			found++
+			if jsonOut {
+				byAnalyzer[a.Name] = append(byAnalyzer[a.Name],
+					jsonDiag{Posn: fset.Position(d.Pos).String(), Message: d.Message})
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			}
+		}
+	}
+
 	if jsonOut {
 		// unitchecker shape: {"pkg": {"analyzer": [diags]}}
 		out := map[string]map[string][]jsonDiag{cfg.ID: byAnalyzer}

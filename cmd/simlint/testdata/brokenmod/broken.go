@@ -1,0 +1,5 @@
+// Package brokenmod does not parse: the driver must report exit 1,
+// distinct from the findings exit 2.
+package brokenmod
+
+func unterminated( {

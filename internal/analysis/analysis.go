@@ -33,9 +33,25 @@
 //	    goroutine flushes in a deterministic order. Unannotated spawns
 //	    are still flagged by the determinism analyzer.
 //
+//	//simlint:ckptskip <reason>
+//	    On a struct field of a checkpointable type (one implementing
+//	    ckpt.Saver): exempts the field from the ckptcomplete analyzer's
+//	    save/restore coverage proof. The reason is mandatory and should
+//	    say why the field needs no serialization (rebuilt by replay,
+//	    immutable config, derived cache, ...).
+//
+//	//simlint:tickroot
+//	    On a function's doc comment: marks an entry point of the
+//	    parallel tick phase. The shardpurity analyzer proves everything
+//	    reachable from a tick root mutates only per-shard receiver
+//	    state and the staged effect ledgers.
+//
 //	//simlint:ignore <analyzer> <reason>
 //	    On (or on the line above) a flagged line: suppresses that
 //	    analyzer's diagnostics for the line. The reason is mandatory.
+//
+// Unknown //simlint: verbs are themselves diagnosed (the directive
+// analyzer), so a typo cannot silently disable a check.
 package analysis
 
 import (
@@ -52,10 +68,20 @@ type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //simlint:ignore directives.
 	Name string
-	// Doc is a one-paragraph description, shown by `simlint -help`.
+	// Doc is a one-paragraph description, shown by `simlint -list`.
 	Doc string
-	// Run applies the check to one package.
+	// Run applies the check to one package. Interprocedural analyzers
+	// use Run to summarize the package as exported facts (and to report
+	// anything provable locally).
 	Run func(*Pass) error
+	// FactTypes lists prototype values of every fact type Run exports,
+	// so drivers can register them for serialization. Empty for purely
+	// intraprocedural analyzers.
+	FactTypes []Fact
+	// Finish, when non-nil, runs once after every package's Run phase
+	// with the whole-program view: this is where interprocedural
+	// analyzers walk the fact-built call graph and report.
+	Finish func(*Program) ([]Diagnostic, error)
 }
 
 // Pass is one (analyzer, package) unit of work.
@@ -66,9 +92,27 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the run-wide fact store; dependency packages' facts are
+	// already in it when Run starts (drivers analyze in dependency
+	// order, or preload serialized facts in vettool mode).
+	Facts *FactStore
+
 	// Report delivers one diagnostic. Drivers install it; analyzers
 	// usually call Reportf instead.
 	Report func(Diagnostic)
+}
+
+// ExportObjectFact attaches fact to obj for downstream passes.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts != nil {
+		p.Facts.Export(obj, fact)
+	}
+}
+
+// ImportObjectFact copies the fact of fact's type attached to obj into
+// fact, reporting whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.Facts != nil && p.Facts.Import(obj, fact)
 }
 
 // Diagnostic is one finding.
@@ -84,6 +128,25 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // directivePrefix introduces every simlint source directive.
 const directivePrefix = "//simlint:"
+
+// KnownDirectives is the set of //simlint: verbs the suite understands.
+// The directive analyzer diagnoses any other verb, so a typo like
+// //simlint:noaloc fails the build instead of silently disabling a
+// check. New directives must be registered here.
+var KnownDirectives = map[string]bool{
+	"noalloc":       true,
+	"releases":      true,
+	"deterministic": true,
+	"shardsafe":     true,
+	"ignore":        true,
+	"ckptskip":      true,
+	"tickroot":      true,
+}
+
+// DirectiveOf exposes directive parsing to the analyzer packages: it
+// splits a comment into its simlint verb and argument string, returning
+// an empty verb when the comment is not a simlint directive.
+func DirectiveOf(c *ast.Comment) (verb, args string) { return directive(c) }
 
 // directive splits one comment into a simlint directive verb and its
 // argument string ("" verb when the comment is not a directive).

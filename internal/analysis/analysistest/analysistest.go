@@ -54,9 +54,37 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, pkgpath string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := analysis.RunAnalyzer(a, lp)
+
+	// Fact-based analyzers summarize dependencies before the corpus
+	// package (the loader's order is topological), then finish over the
+	// whole mini-program. Only corpus-file diagnostics are matched
+	// against wants: the dependency packages are real repo packages and
+	// their findings belong to the repo-wide simlint run, not here.
+	analysis.RegisterFactTypes(a)
+	facts := analysis.NewFactStore()
+	var diags []analysis.Diagnostic
+	for _, dep := range loader.Packages() {
+		ds, err := analysis.RunAnalyzer(a, dep, facts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dep == lp {
+			diags = ds
+		}
+	}
+	prog := analysis.NewProgram(lp.Fset, loader.Packages(), facts)
+	fdiags, err := analysis.RunFinish(a, prog)
 	if err != nil {
 		t.Fatal(err)
+	}
+	corpus := map[string]bool{}
+	for _, name := range files {
+		corpus[name] = true
+	}
+	for _, d := range fdiags {
+		if corpus[lp.Fset.Position(d.Pos).Filename] {
+			diags = append(diags, d)
+		}
 	}
 
 	wants := collectWants(t, lp)
@@ -99,10 +127,14 @@ func collectWants(t *testing.T, lp *analysis.LoadedPackage) map[string][]*want {
 	for _, f := range lp.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), "// want ")
-				if !ok {
+				// The marker may open the comment or trail one (a directive
+				// corpus wants diagnostics on the directive comment itself:
+				// `//simlint:noaloc x // want "unknown"`).
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
 					continue
 				}
+				rest := c.Text[idx+len("// want "):]
 				p := lp.Fset.Position(c.Pos())
 				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
 				for _, rx := range parseWantArgs(t, key, rest) {

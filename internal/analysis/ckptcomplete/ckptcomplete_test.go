@@ -1,0 +1,13 @@
+package ckptcomplete_test
+
+import (
+	"testing"
+
+	"gpues/internal/analysis/analysistest"
+	"gpues/internal/analysis/ckptcomplete"
+)
+
+func TestCkptcomplete(t *testing.T) {
+	analysistest.Run(t, ckptcomplete.Analyzer, "testdata/src/cc",
+		"gpues/internal/analysis/ckptcomplete/testdata/src/cc")
+}

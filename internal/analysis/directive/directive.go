@@ -1,0 +1,42 @@
+// Package directive validates the //simlint: directives themselves: an
+// unknown verb (a typo like //simlint:noaloc, or a directive removed
+// from the suite) is a diagnostic, never a silent no-op. The other
+// analyzers change behavior based on directives — noalloc only checks
+// annotated functions, ckptcomplete exempts annotated fields — so a
+// misspelled directive would otherwise disable a check invisibly.
+package directive
+
+import (
+	"sort"
+	"strings"
+
+	"gpues/internal/analysis"
+)
+
+// Analyzer is the directive-spelling check.
+var Analyzer = &analysis.Analyzer{
+	Name: "directive",
+	Doc:  "flag unknown //simlint: directive verbs so a typo cannot silently disable a check",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	known := make([]string, 0, len(analysis.KnownDirectives))
+	for v := range analysis.KnownDirectives {
+		known = append(known, v)
+	}
+	sort.Strings(known)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				verb, _ := analysis.DirectiveOf(c)
+				if verb == "" || analysis.KnownDirectives[verb] {
+					continue
+				}
+				pass.Reportf(c.Pos(), "unknown simlint directive //simlint:%s (known: %s)",
+					verb, strings.Join(known, ", "))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package directive_test
+
+import (
+	"testing"
+
+	"gpues/internal/analysis/analysistest"
+	"gpues/internal/analysis/directive"
+)
+
+func TestDirective(t *testing.T) {
+	analysistest.Run(t, directive.Analyzer, "testdata/src/dir",
+		"gpues/internal/analysis/directive/testdata/src/dir")
+}

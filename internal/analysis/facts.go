@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Fact is a typed datum an analyzer attaches to a types.Object so later
+// passes — over the same package or over packages that import it — can
+// consume it. This is the interprocedural backbone: a pass summarizes
+// what it learned about each exported function or type as facts, the
+// driver serializes them across package boundaries (the .vetx files of
+// the go vet protocol, or an in-memory store in standalone mode), and
+// downstream passes import them instead of re-reading source they may
+// not even have.
+//
+// A Fact implementation must be a pointer to a gob-encodable struct and
+// must be listed in its Analyzer's FactTypes so drivers can register it
+// for decoding.
+type Fact interface {
+	// AFact is a marker method; it does nothing.
+	AFact()
+}
+
+// FactStore holds every (object, fact) pair produced during one driver
+// invocation. One store is shared by all passes of a run, so facts flow
+// from dependency passes to dependent ones; drivers serialize the
+// per-package slice of it between processes.
+type FactStore struct {
+	mu sync.Mutex
+	m  map[factKey]Fact
+}
+
+// factKey identifies one fact: facts of distinct types coexist on the
+// same object (each analyzer defines its own fact types, so analyzer
+// scoping falls out of type identity).
+type factKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[factKey]Fact{}}
+}
+
+// Export records fact for obj, replacing any previous fact of the same
+// type.
+func (s *FactStore) Export(obj types.Object, fact Fact) {
+	if obj == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[factKey{obj, reflect.TypeOf(fact)}] = fact
+}
+
+// Import copies the stored fact of fact's type for obj into fact,
+// reporting whether one was found. fact must be a pointer to a struct.
+func (s *FactStore) Import(obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	s.mu.Lock()
+	got, ok := s.m[factKey{obj, reflect.TypeOf(fact)}]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// ObjectFact is one (object, fact) pair, as returned by All.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// All returns every stored fact assignable to the given prototype's
+// type, in a deterministic (object-path-sorted) order.
+func (s *FactStore) All(prototype Fact) []ObjectFact {
+	want := reflect.TypeOf(prototype)
+	s.mu.Lock()
+	var out []ObjectFact
+	for k, f := range s.m {
+		if k.t == want {
+			out = append(out, ObjectFact{Object: k.obj, Fact: f})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := objSortKey(out[i].Object), objSortKey(out[j].Object)
+		return pi < pj
+	})
+	return out
+}
+
+// objSortKey orders facts deterministically across runs.
+func objSortKey(obj types.Object) string {
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	path, _ := ObjectPath(obj)
+	return pkg + "\x00" + path + "\x00" + obj.Name()
+}
+
+// ---- wire format ----
+
+// factRecord is the serialized form of one fact: the owning package and
+// object are stored as paths so the decoder can resolve them against
+// export data (vettool mode) or a source-loaded package (standalone).
+type factRecord struct {
+	PkgPath string
+	ObjPath string
+	Fact    Fact
+}
+
+// RegisterFactTypes makes an analyzer's fact types known to gob. The
+// drivers call it once per analyzer before any encode or decode.
+func RegisterFactTypes(a *Analyzer) {
+	for _, f := range a.FactTypes {
+		gob.Register(f)
+	}
+}
+
+// EncodeFacts serializes every fact owned by one of the given packages
+// (plus, when reexportAll is set, every other fact in the store — the
+// vettool protocol wants each .vetx to carry its transitive closure so
+// facts survive deep import chains).
+func (s *FactStore) EncodeFacts(own map[*types.Package]bool, reexportAll bool) ([]byte, error) {
+	s.mu.Lock()
+	var recs []factRecord
+	for k, f := range s.m {
+		pkg := k.obj.Pkg()
+		if pkg == nil {
+			continue
+		}
+		if !reexportAll && !own[pkg] {
+			continue
+		}
+		path, ok := ObjectPath(k.obj)
+		if !ok {
+			continue
+		}
+		recs = append(recs, factRecord{PkgPath: pkg.Path(), ObjPath: path, Fact: f})
+	}
+	s.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].PkgPath != recs[j].PkgPath {
+			return recs[i].PkgPath < recs[j].PkgPath
+		}
+		if recs[i].ObjPath != recs[j].ObjPath {
+			return recs[i].ObjPath < recs[j].ObjPath
+		}
+		return fmt.Sprint(reflect.TypeOf(recs[i].Fact)) < fmt.Sprint(reflect.TypeOf(recs[j].Fact))
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return nil, fmt.Errorf("encoding facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFacts merges serialized facts into the store, resolving objects
+// through lookup (import path -> *types.Package). Records whose package
+// or object cannot be resolved are skipped — a fact about a type the
+// current compilation cannot see is a fact it cannot act on either.
+func (s *FactStore) DecodeFacts(data []byte, lookup func(path string) *types.Package) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var recs []factRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&recs); err != nil {
+		return fmt.Errorf("decoding facts: %w", err)
+	}
+	for _, r := range recs {
+		pkg := lookup(r.PkgPath)
+		if pkg == nil {
+			continue
+		}
+		obj, err := ResolveObjectPath(pkg, r.ObjPath)
+		if err != nil || obj == nil {
+			continue
+		}
+		s.Export(obj, r.Fact)
+	}
+	return nil
+}

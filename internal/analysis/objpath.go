@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"strings"
+)
+
+// Object paths name package-level objects and their members in a form
+// that is stable across type-checking sessions, so a fact exported
+// while analyzing a dependency from source can be re-attached to the
+// same logical object when the dependent package sees it through
+// export data (a minimal, simlint-scoped take on
+// golang.org/x/tools/go/types/objectpath):
+//
+//	N:Name          package-scope func, var, const or type
+//	M:Type.Method   method of a package-level named type (any receiver)
+//	F:Type.Field    top-level field of a package-level struct type
+func ObjectPath(obj types.Object) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if obj.Parent() == pkg.Scope() {
+		return "N:" + obj.Name(), true
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		recv := o.Type().(*types.Signature).Recv()
+		if recv == nil {
+			return "", false
+		}
+		name, ok := recvTypeName(recv.Type())
+		if !ok {
+			return "", false
+		}
+		return "M:" + name + "." + o.Name(), true
+	case *types.Var:
+		if !o.IsField() {
+			return "", false
+		}
+		if name, ok := fieldOwner(pkg, o); ok {
+			return "F:" + name + "." + o.Name(), true
+		}
+	}
+	return "", false
+}
+
+// recvTypeName unwraps a receiver type to its named type's name.
+func recvTypeName(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return named.Obj().Name(), true
+}
+
+// fieldOwner finds the package-level struct type declaring field, by
+// scanning the package scope (fields do not link back to their owner).
+func fieldOwner(pkg *types.Package, field *types.Var) (string, bool) {
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// ResolveObjectPath is the inverse of ObjectPath against a loaded (or
+// export-data-imported) package.
+func ResolveObjectPath(pkg *types.Package, path string) (types.Object, error) {
+	kind, rest, ok := strings.Cut(path, ":")
+	if !ok {
+		return nil, fmt.Errorf("malformed object path %q", path)
+	}
+	switch kind {
+	case "N":
+		if obj := pkg.Scope().Lookup(rest); obj != nil {
+			return obj, nil
+		}
+		return nil, fmt.Errorf("%s: no package-level object %q", pkg.Path(), rest)
+	case "M", "F":
+		tname, member, ok := strings.Cut(rest, ".")
+		if !ok {
+			return nil, fmt.Errorf("malformed object path %q", path)
+		}
+		tn, ok2 := pkg.Scope().Lookup(tname).(*types.TypeName)
+		if !ok2 {
+			return nil, fmt.Errorf("%s: no type %q", pkg.Path(), tname)
+		}
+		if kind == "M" {
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				return nil, fmt.Errorf("%s.%s: not a named type", pkg.Path(), tname)
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				if m := named.Method(i); m.Name() == member {
+					return m, nil
+				}
+			}
+			return nil, fmt.Errorf("%s.%s: no method %q", pkg.Path(), tname, member)
+		}
+		st, ok2 := tn.Type().Underlying().(*types.Struct)
+		if !ok2 {
+			return nil, fmt.Errorf("%s.%s: not a struct", pkg.Path(), tname)
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); f.Name() == member {
+				return f, nil
+			}
+		}
+		return nil, fmt.Errorf("%s.%s: no field %q", pkg.Path(), tname, member)
+	}
+	return nil, fmt.Errorf("unknown object path kind %q", kind)
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Program is the whole-program view the interprocedural analyzers
+// finish against: every package the driver analyzed this run (in
+// analysis order — dependencies before dependents in standalone mode,
+// the single unit package in vettool mode) plus the shared fact store
+// their Run phases populated. All packages share one FileSet, so
+// positions travel freely across package boundaries.
+type Program struct {
+	Fset  *token.FileSet
+	Pkgs  []*LoadedPackage
+	Facts *FactStore
+
+	byPath map[string]*LoadedPackage
+}
+
+// NewProgram assembles a program over already-analyzed packages.
+func NewProgram(fset *token.FileSet, pkgs []*LoadedPackage, facts *FactStore) *Program {
+	p := &Program{Fset: fset, Pkgs: pkgs, Facts: facts, byPath: map[string]*LoadedPackage{}}
+	for _, lp := range pkgs {
+		p.byPath[lp.Path] = lp
+	}
+	return p
+}
+
+// Package returns the loaded package with the given import path, or
+// nil when it was not part of this run.
+func (p *Program) Package(path string) *LoadedPackage { return p.byPath[path] }
+
+// PackageAt returns the loaded package containing pos (used to apply
+// that package's //simlint:ignore suppressions to finish-phase
+// diagnostics), or nil for positions outside the program.
+func (p *Program) PackageAt(pos token.Pos) *LoadedPackage {
+	if !pos.IsValid() {
+		return nil
+	}
+	file := p.Fset.File(pos)
+	if file == nil {
+		return nil
+	}
+	name := file.Name()
+	for _, lp := range p.Pkgs {
+		for _, f := range lp.Files {
+			if tf := p.Fset.File(f.Pos()); tf != nil && tf.Name() == name {
+				return lp
+			}
+		}
+	}
+	return nil
+}
+
+// RunFinish invokes the analyzer's Finish hook (if any) over the
+// program and returns the surviving diagnostics, sorted by position.
+// Suppression comments are honored exactly as in the per-package Run
+// phase, resolved against whichever package a diagnostic lands in.
+func RunFinish(a *Analyzer, prog *Program) ([]Diagnostic, error) {
+	if a.Finish == nil {
+		return nil, nil
+	}
+	diags, err := a.Finish(prog)
+	if err != nil {
+		return nil, fmt.Errorf("%s (finish): %w", a.Name, err)
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		if lp := prog.PackageAt(d.Pos); lp != nil {
+			sup := BuildSuppressions(prog.Fset, lp.Files)
+			if sup.Suppressed(prog.Fset, a.Name, d) {
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}

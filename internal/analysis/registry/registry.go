@@ -4,18 +4,30 @@ package registry
 
 import (
 	"gpues/internal/analysis"
+	"gpues/internal/analysis/ckptcomplete"
 	"gpues/internal/analysis/determinism"
+	"gpues/internal/analysis/directive"
 	"gpues/internal/analysis/enumswitch"
 	"gpues/internal/analysis/noalloc"
 	"gpues/internal/analysis/poolsafe"
+	"gpues/internal/analysis/shardpurity"
 )
 
-// All returns the full analyzer suite.
+// All returns the full analyzer suite. The interprocedural members
+// (ckptcomplete, shardpurity) export facts during their Run phase and
+// prove their whole-program property in Finish.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{
+	as := []*analysis.Analyzer{
 		determinism.Analyzer,
 		poolsafe.Analyzer,
 		noalloc.Analyzer,
 		enumswitch.Analyzer,
+		directive.Analyzer,
+		ckptcomplete.Analyzer,
+		shardpurity.Analyzer,
 	}
+	for _, a := range as {
+		analysis.RegisterFactTypes(a)
+	}
+	return as
 }

@@ -1,0 +1,528 @@
+// Package shardpurity proves the parallel tick phase's isolation
+// contract at compile time: everything reachable from a tick root (a
+// function annotated //simlint:tickroot — SM.TickStaged in the real
+// machine) may mutate only per-shard receiver state and the staged
+// effect ledgers (clock.Stage, obs.EmitStage). The three shared-effect
+// streams a sequential tick would hit directly — clock.Queue.After,
+// obs.Tracer.Emit, obs.Histogram.Observe — must be staged instead, and
+// no tick-reachable code may write shared L2/DRAM/link/fault-queue
+// state.
+//
+// Before this analyzer the contract was policed only at runtime, by the
+// differential worker matrix (a stray unstaged effect shows up as a
+// cycle-count or digest divergence across -workers values). Now a stray
+// Queue.After in a tick-reachable function is a CI failure that names
+// the call chain from the root.
+//
+// The proof is interprocedural and fact-based: each package's Run phase
+// summarizes every function (banned effect calls, shared-state writes,
+// dynamic calls, interface dispatches, static callees) as an exported
+// PurityFact; the Finish phase walks the call graph those facts form,
+// from every tick root, resolving interface dispatches against all
+// implementations known to the program.
+//
+// A function annotated //simlint:shardsafe is a verified boundary: it
+// upholds the contract by construction (it stages its effects when a
+// ledger is installed, or is gated off the parallel path at runtime),
+// so traversal stops there and its body is exempt. Every annotation is
+// a reviewed assertion, same as the determinism analyzer's spawn rule.
+package shardpurity
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"gpues/internal/analysis"
+)
+
+// Analyzer is the parallel-tick purity check.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardpurity",
+	Doc: "prove code reachable from //simlint:tickroot functions stages every shared effect " +
+		"(no direct Queue.After/Tracer.Emit/Histogram.Observe, no shared-state writes)",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*PurityFact)(nil)},
+	Finish:    finish,
+}
+
+// Site is one offending location inside a function: a banned call, a
+// shared-state write, or an unresolvable dynamic call.
+type Site struct {
+	// What describes the offense for the diagnostic.
+	What string
+	// PosStr is the site's position, stable across fact serialization.
+	PosStr string
+
+	// pos is the in-process position; valid only when the fact was
+	// produced in this process (gob does not carry it across).
+	pos token.Pos
+}
+
+// IfaceSite is one interface-method dispatch; the Finish phase resolves
+// it against every implementation the program knows.
+type IfaceSite struct {
+	// PkgPath and Iface name the interface type; Method the method.
+	PkgPath, Iface, Method string
+	// PosStr locates the call for diagnostics.
+	PosStr string
+
+	pos token.Pos
+}
+
+// PurityFact is one function's summary for the purity proof.
+type PurityFact struct {
+	// Shardsafe marks a //simlint:shardsafe boundary (body exempt).
+	Shardsafe bool
+	// Tickroot marks a //simlint:tickroot traversal root.
+	Tickroot bool
+	// DeclPosStr locates the declaration (used to attribute offenses
+	// found in packages whose source the reporting pass cannot see).
+	DeclPosStr string
+	// Effects are direct calls into the banned shared-effect streams.
+	Effects []Site
+	// Writes are shared-state mutations.
+	Writes []Site
+	// Dynamics are calls through function values, which the static
+	// graph cannot follow.
+	Dynamics []Site
+	// Ifaces are interface dispatches, resolved at Finish time.
+	Ifaces []IfaceSite
+	// Callees are the statically-resolved calls.
+	Callees []analysis.FuncRef
+
+	declPos token.Pos
+}
+
+// AFact marks PurityFact as a serializable fact.
+func (*PurityFact) AFact() {}
+
+// bannedMethods are the shared-effect streams the tick phase must
+// stage. Receiver type and method name, keyed by the defining package's
+// path suffix.
+var bannedMethods = map[[2]string]string{
+	{"internal/clock", "Queue.After"}:     "schedules directly on the shared event queue (stage it via clock.Stage / the SM ledger)",
+	{"internal/obs", "Tracer.Emit"}:       "emits directly on the shared tracer (stage it via obs.EmitStage / the SM ledger)",
+	{"internal/obs", "Histogram.Observe"}: "observes directly into a shared histogram (stage the sample in the SM ledger)",
+}
+
+// sharedPkgs are the packages whose receiver state is shared across
+// shards (L2/DRAM/link/fault-queue and friends): a tick-reachable write
+// to any of it breaks shard isolation. The SM package itself is absent
+// on purpose — receiver state there is per-shard by construction.
+var sharedPkgs = []string{
+	"internal/clock",
+	"internal/obs",
+	"internal/cache",
+	"internal/tlb",
+	"internal/dram",
+	"internal/interconnect",
+	"internal/host",
+	"internal/vm",
+	"internal/emu",
+	"internal/chaos",
+	"internal/core",
+	"internal/sim",
+}
+
+// ledgerTypes are the staged effect ledgers: per-shard by contract,
+// writable from the tick phase, flushed deterministically by the main
+// goroutine.
+var ledgerTypes = map[[2]string]bool{
+	{"internal/clock", "Stage"}:   true,
+	{"internal/obs", "EmitStage"}: true,
+}
+
+func pkgIsShared(path string) bool {
+	for _, seg := range sharedPkgs {
+		if path == seg || strings.HasSuffix(path, "/"+seg) {
+			return true
+		}
+	}
+	return false
+}
+
+// namedOf unwraps pointers to a named type.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// typeIn reports whether the named type is declared in a package whose
+// path ends with seg, and matches name.
+func typeMatches(named *types.Named, seg, name string) bool {
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Name() != name {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	return p == seg || strings.HasSuffix(p, "/"+seg)
+}
+
+func isLedgerType(named *types.Named) bool {
+	for key := range ledgerTypes {
+		if typeMatches(named, key[0], key[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// run summarizes every function in the package as a PurityFact.
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			fact := summarize(pass, fn)
+			pass.ExportObjectFact(obj, fact)
+		}
+	}
+	return nil
+}
+
+func posOf(pass *analysis.Pass, pos token.Pos) (token.Pos, string) {
+	return pos, pass.Fset.Position(pos).String()
+}
+
+// summarize builds one function's PurityFact.
+func summarize(pass *analysis.Pass, fn *ast.FuncDecl) *PurityFact {
+	fact := &PurityFact{}
+	fact.declPos, fact.DeclPosStr = posOf(pass, fn.Pos())
+	if _, ok := analysis.FuncHasDirective(fn, "shardsafe"); ok {
+		fact.Shardsafe = true
+		return fact
+	}
+	if _, ok := analysis.FuncHasDirective(fn, "tickroot"); ok {
+		fact.Tickroot = true
+	}
+
+	shared := pkgIsShared(pass.Pkg.Path())
+	var recvObj types.Object
+	recvLedger := false
+	if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+		recvObj = pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]
+		if recvObj != nil {
+			recvLedger = isLedgerType(namedOf(recvObj.Type()))
+		}
+	}
+
+	seenCallee := map[analysis.FuncRef]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			summarizeCall(pass, fact, n, seenCallee)
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, fact, lhs, shared, recvObj, recvLedger)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, fact, n.X, shared, recvObj, recvLedger)
+		case *ast.SendStmt:
+			pos, str := posOf(pass, n.Pos())
+			fact.Writes = append(fact.Writes, Site{What: "sends on a channel", PosStr: str, pos: pos})
+		}
+		return true
+	})
+	return fact
+}
+
+// summarizeCall classifies one call site: banned effect stream, static
+// callee edge, interface dispatch, or dynamic call.
+func summarizeCall(pass *analysis.Pass, fact *PurityFact, call *ast.CallExpr, seen map[analysis.FuncRef]bool) {
+	// Conversions and builtins are effect-free here.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			return
+		}
+	}
+	callee := analysis.CalleeFunc(pass.TypesInfo, call)
+	if callee == nil {
+		pos, str := posOf(pass, call.Pos())
+		fact.Dynamics = append(fact.Dynamics, Site{
+			What:   "calls through a function value the static call graph cannot follow",
+			PosStr: str, pos: pos,
+		})
+		return
+	}
+	sig := callee.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		if named := namedOf(recv.Type()); named != nil && named.Obj().Pkg() != nil {
+			pkgPath := named.Obj().Pkg().Path()
+			for key, why := range bannedMethods {
+				tname, mname, _ := strings.Cut(key[1], ".")
+				if callee.Name() == mname && typeMatches(named, key[0], tname) {
+					pos, str := posOf(pass, call.Pos())
+					fact.Effects = append(fact.Effects, Site{
+						What:   fmt.Sprintf("%s.%s %s", tname, mname, why),
+						PosStr: str, pos: pos,
+					})
+					return
+				}
+			}
+			if types.IsInterface(named.Obj().Type().Underlying()) || analysis.IsInterfaceCall(pass.TypesInfo, call) {
+				pos, str := posOf(pass, call.Pos())
+				fact.Ifaces = append(fact.Ifaces, IfaceSite{
+					PkgPath: pkgPath, Iface: named.Obj().Name(), Method: callee.Name(),
+					PosStr: str, pos: pos,
+				})
+				return
+			}
+		}
+	}
+	if ref, ok := analysis.FuncRefOf(callee); ok && !seen[ref] {
+		seen[ref] = true
+		fact.Callees = append(fact.Callees, ref)
+	}
+}
+
+// checkWrite flags a mutation whose target is shared across shards: a
+// package-level variable (any package), receiver state in a
+// shared-component package, or anything reached through a value of a
+// shared-package named type (s.q.x, l2.sets[i], ...). Ledger types are
+// exempt — staging into them is the sanctioned idiom.
+func checkWrite(pass *analysis.Pass, fact *PurityFact, lhs ast.Expr, sharedPkg bool, recvObj types.Object, recvLedger bool) {
+	report := func(pos token.Pos, what string) {
+		p, str := posOf(pass, pos)
+		fact.Writes = append(fact.Writes, Site{What: what, PosStr: str, pos: p})
+	}
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[e]
+			}
+			if obj == nil || e.Name == "_" {
+				return
+			}
+			if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil &&
+				v.Parent() == v.Pkg().Scope() {
+				report(e.Pos(), fmt.Sprintf("writes package-level variable %s", e.Name))
+				return
+			}
+			if sharedPkg && !recvLedger && recvObj != nil && obj == recvObj {
+				report(e.Pos(), "mutates receiver state of a shared component type")
+				return
+			}
+			return
+		case *ast.SelectorExpr:
+			// Writing through a chain that passes a shared-package named
+			// type mutates that shared object, whoever holds the pointer.
+			if named := namedOf(pass.TypesInfo.Types[e.X].Type); named != nil && !isLedgerType(named) {
+				if p := named.Obj().Pkg(); p != nil && pkgIsShared(p.Path()) && p.Path() != pass.Pkg.Path() {
+					report(e.Pos(), fmt.Sprintf("writes state of shared type %s.%s", p.Name(), named.Obj().Name()))
+					return
+				}
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+// ---- Finish: whole-program reachability from the tick roots ----
+
+// finish walks the fact-built call graph from every tick root and
+// reports each banned effect, shared write, and unprovable dynamic
+// call reachable outside a shardsafe boundary, with the call chain
+// that reaches it.
+func finish(prog *analysis.Program) ([]analysis.Diagnostic, error) {
+	// Index every summarized function by ref; remember objects so
+	// interface dispatches can be matched against receiver types.
+	facts := map[analysis.FuncRef]*PurityFact{}
+	objs := map[analysis.FuncRef]types.Object{}
+	var roots []analysis.FuncRef
+	for _, of := range prog.Facts.All((*PurityFact)(nil)) {
+		fn, ok := of.Object.(*types.Func)
+		if !ok {
+			continue
+		}
+		ref, ok := analysis.FuncRefOf(fn)
+		if !ok {
+			continue
+		}
+		fact := of.Fact.(*PurityFact)
+		facts[ref] = fact
+		objs[ref] = fn
+		if fact.Tickroot {
+			roots = append(roots, ref)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, nil
+	}
+
+	// All packages the program can name types in: the loaded packages
+	// plus their transitive imports (vettool mode sees dependencies as
+	// export data only, but their types still resolve).
+	pkgs := map[string]*types.Package{}
+	var addImports func(p *types.Package)
+	addImports = func(p *types.Package) {
+		if pkgs[p.Path()] != nil {
+			return
+		}
+		pkgs[p.Path()] = p
+		for _, imp := range p.Imports() {
+			addImports(imp)
+		}
+	}
+	for _, lp := range prog.Pkgs {
+		addImports(lp.Types)
+	}
+
+	// BFS from the roots; parent edges reconstruct the chain shown in
+	// diagnostics.
+	type qitem struct {
+		ref   analysis.FuncRef
+		depth int
+	}
+	parent := map[analysis.FuncRef]analysis.FuncRef{}
+	visited := map[analysis.FuncRef]bool{}
+	var queue []qitem
+	for _, r := range roots {
+		visited[r] = true
+		queue = append(queue, qitem{r, 0})
+	}
+	var diags []analysis.Diagnostic
+	const maxDepth = 64 // cycle guard; chains are far shorter in practice
+
+	push := func(from, to analysis.FuncRef, depth int) {
+		if visited[to] || depth >= maxDepth {
+			return
+		}
+		fact, ok := facts[to]
+		if !ok || fact.Shardsafe {
+			return // unknown (no body / out of program) or verified boundary
+		}
+		visited[to] = true
+		parent[to] = from
+		queue = append(queue, qitem{to, depth})
+	}
+
+	chainOf := func(ref analysis.FuncRef) string {
+		var parts []string
+		for r := ref; ; {
+			parts = append(parts, r.String())
+			p, ok := parent[r]
+			if !ok {
+				break
+			}
+			r = p
+		}
+		for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+			parts[i], parts[j] = parts[j], parts[i]
+		}
+		return strings.Join(parts, " → ")
+	}
+
+	report := func(ref analysis.FuncRef, s Site) {
+		pos := s.pos
+		msg := fmt.Sprintf("tick phase is not shard-pure: %s (at %s, reachable via %s); stage the effect through the SM ledger or mark a reviewed boundary //simlint:shardsafe",
+			s.What, s.PosStr, chainOf(ref))
+		if !pos.IsValid() {
+			// Cross-process fact: anchor the diagnostic at the root.
+			pos = facts[rootOf(parent, ref)].declPos
+		}
+		diags = append(diags, analysis.Diagnostic{Pos: pos, Message: msg})
+	}
+
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		fact := facts[it.ref]
+		for _, s := range fact.Effects {
+			report(it.ref, s)
+		}
+		for _, s := range fact.Writes {
+			report(it.ref, s)
+		}
+		for _, s := range fact.Dynamics {
+			report(it.ref, s)
+		}
+		for _, c := range fact.Callees {
+			push(it.ref, c, it.depth+1)
+		}
+		for _, is := range fact.Ifaces {
+			for _, impl := range implementations(is, pkgs, objs) {
+				push(it.ref, impl, it.depth+1)
+			}
+		}
+	}
+	return diags, nil
+}
+
+// rootOf follows parent edges to the BFS root.
+func rootOf(parent map[analysis.FuncRef]analysis.FuncRef, ref analysis.FuncRef) analysis.FuncRef {
+	for {
+		p, ok := parent[ref]
+		if !ok {
+			return ref
+		}
+		ref = p
+	}
+}
+
+// implementations resolves an interface dispatch to the summarized
+// methods of every known type implementing the interface. Types the
+// program has no summary for contribute nothing — in vettool mode an
+// implementation living in a package that imports the current one is
+// invisible, which is why CI runs the standalone whole-program mode.
+func implementations(is IfaceSite, pkgs map[string]*types.Package, objs map[analysis.FuncRef]types.Object) []analysis.FuncRef {
+	pkg := pkgs[is.PkgPath]
+	if pkg == nil {
+		return nil
+	}
+	tn, ok := pkg.Scope().Lookup(is.Iface).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := tn.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []analysis.FuncRef
+	for ref, obj := range objs {
+		fn := obj.(*types.Func)
+		if fn.Name() != is.Method {
+			continue
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil {
+			continue
+		}
+		named := namedOf(recv.Type())
+		if named == nil {
+			continue
+		}
+		if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+			out = append(out, ref)
+		}
+	}
+	// objs is a map; sort so traversal (and thus the chains shown in
+	// diagnostics) is deterministic run to run.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

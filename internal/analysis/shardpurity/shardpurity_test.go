@@ -1,0 +1,13 @@
+package shardpurity_test
+
+import (
+	"testing"
+
+	"gpues/internal/analysis/analysistest"
+	"gpues/internal/analysis/shardpurity"
+)
+
+func TestShardpurity(t *testing.T) {
+	analysistest.Run(t, shardpurity.Analyzer, "testdata/src/sp",
+		"gpues/internal/analysis/shardpurity/testdata/src/sp")
+}

@@ -1,0 +1,60 @@
+// Package sp is the shardpurity corpus: a tick root whose call graph
+// mixes staged (legal) and direct (flagged) shared effects.
+package sp
+
+import (
+	"gpues/internal/clock"
+	"gpues/internal/obs"
+)
+
+// Shard is a per-worker component with wiring to shared services.
+type Shard struct {
+	q     *clock.Queue
+	tr    *obs.Tracer
+	hist  *obs.Histogram
+	stage *clock.Stage
+	emit  *obs.EmitStage
+
+	count int
+}
+
+// Tick is the corpus tick root.
+//
+//simlint:tickroot
+func (s *Shard) Tick() {
+	// Mutating the receiver's own state is the whole point of a tick.
+	s.count++
+
+	// Staging into the ledger types is the sanctioned channel.
+	s.stage.After(1, func() {})
+	s.emit.Emit(0, obs.KIssue, 0, 0, 0)
+
+	// The injected defect: a stray direct schedule on the shared queue.
+	s.q.After(1, func() {}) // want "Queue.After schedules directly on the shared event queue"
+
+	s.helper()
+	s.flush()
+}
+
+// helper buries direct shared effects one call deep: the proof must
+// follow the chain and name it.
+func (s *Shard) helper() {
+	s.tr.Emit(0, obs.KIssue, 0, 0, 0) // want "Tracer.Emit emits directly on the shared tracer.*reachable via sp.Shard.Tick → sp.Shard.helper"
+	s.hist.Observe(1)                 // want "Histogram.Observe observes directly into a shared histogram"
+}
+
+// flush applies staged effects directly; it is a reviewed boundary the
+// traversal must not descend into (the no-false-positive case).
+//
+//simlint:shardsafe
+func (s *Shard) flush() {
+	s.q.After(1, func() {})
+	s.tr.Emit(0, obs.KIssue, 0, 0, 0)
+	s.hist.Observe(1)
+}
+
+// offTick is not reachable from the root: its direct effects are
+// legal.
+func (s *Shard) offTick() {
+	s.q.After(1, func() {})
+}

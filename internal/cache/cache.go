@@ -79,15 +79,19 @@ type Config struct {
 
 // Cache is one cache level. Not safe for concurrent use.
 type Cache struct {
-	cfg     Config
-	sets    int
-	lines   [][]line // [set][way]
-	q       *clock.Queue
-	next    Backend
-	mshrs   map[uint64]*mshr // keyed by line address
-	pool    *mshr            // free list of recycled MSHRs
-	stats   Stats
-	tick    int64 // LRU clock
+	cfg   Config
+	sets  int
+	lines [][]line // [set][way]
+	//simlint:ckptskip wiring to the shared event queue, rebuilt by the harness before restore
+	q *clock.Queue
+	//simlint:ckptskip wiring to the lower level, rebuilt by the harness before restore
+	next  Backend
+	mshrs map[uint64]*mshr // keyed by line address
+	//simlint:ckptskip free list of recycled MSHRs, a pure allocation cache; an empty list after restore is correct
+	pool  *mshr // free list of recycled MSHRs
+	stats Stats
+	tick  int64 // LRU clock
+	//simlint:ckptskip retry closures; SaveState digests the count and replay rebuilds the population
 	waiters []func()
 }
 

@@ -126,7 +126,9 @@ func (e Event) String() string {
 // is accepted.
 type Plan struct {
 	cfg Config
+	//simlint:ckptskip stream position is implied by the saved injection counters; replay re-draws the same sequence from cfg.Seed
 	rng *rand.Rand
+	//simlint:ckptskip clock hookup, rebound by AttachChaos when the plan is rewired on restore
 	now func() int64
 
 	injectedPages  map[uint64]bool
@@ -243,6 +245,13 @@ func (p *Plan) TransferJitter(cycles int64) int64 {
 
 // StallIssue implements part of sm.Chaos: an artificial one-cycle issue
 // stall for a global-memory instruction.
+//
+// Shard-pure by runtime gating: sim.Run's parallel tick phase requires
+// Plan.TickOrderFree — a plan whose tick-path hooks draw no randomness
+// and record no events — so during TickStaged this body returns
+// without mutating the shared plan.
+//
+//simlint:shardsafe
 func (p *Plan) StallIssue(smID int, isReplay bool) bool {
 	if p == nil || p.cfg.IssueStallProb <= 0 || p.issueStalls >= p.cfg.MaxIssueStalls {
 		return false

@@ -56,9 +56,12 @@ type Queue struct {
 	seq uint64
 	n   int // total pending events (ring + overflow)
 
+	//simlint:ckptskip holds closures; SaveState digests the per-cycle counts and replay rebuilds the population
 	buckets [numBuckets]bucketList
-	occ     [occWords]uint64 // bit per non-empty bucket
-	occSum  uint32           // bit per non-zero occ word
+	//simlint:ckptskip derived occupancy index over buckets; rebuilt as replay reschedules events
+	occ [occWords]uint64 // bit per non-empty bucket
+	//simlint:ckptskip derived occupancy index over occ; rebuilt as replay reschedules events
+	occSum uint32 // bit per non-zero occ word
 
 	// overdue holds events left behind at a cycle the clock has already
 	// advanced past (scheduled at cycle == now and not drained before the
@@ -67,12 +70,15 @@ type Queue struct {
 	// list is in insertion order, which is exactly (cycle, seq) order:
 	// an overdue event's cycle is the now at its insertion, and now is
 	// monotonic.
+	//simlint:ckptskip holds closures; SaveState digests the count and replay rebuilds the population
 	overdue bucketList
 
+	//simlint:ckptskip node free list, a pure allocation cache; an empty list after restore is correct
 	free *node
 
 	// overflow holds events at now+numBuckets or later, ordered by
 	// (cycle, seq); they migrate into the ring as now advances.
+	//simlint:ckptskip holds closures; SaveState digests the per-cycle counts and replay rebuilds the population
 	overflow []*node
 }
 

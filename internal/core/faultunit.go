@@ -48,17 +48,24 @@ type regionFault struct {
 // scheduler's switch decisions, and routes each region to the CPU
 // driver or the GPU-local handler.
 type FaultUnit struct {
-	q     *clock.Queue
-	gran  uint64
-	cpu   Resolver
+	//simlint:ckptskip wiring to the shared event queue, rebuilt by the harness before restore
+	q *clock.Queue
+	//simlint:ckptskip construction-time region granularity (Section 5.1: 64 KB), fixed for the life of the unit
+	gran uint64
+	//simlint:ckptskip wiring to the CPU driver resolver, rebuilt by the harness before restore
+	cpu Resolver
+	//simlint:ckptskip wiring to the GPU-local resolver, rebuilt by the harness before restore
 	local Resolver // nil when use case 2 is disabled
 
 	pending map[uint64]*regionFault
 	queued  int
 	stats   Stats
-	abort   error
+	//simlint:ckptskip a non-nil abort ends the run before any checkpoint is cut
+	abort error
 
-	tr      *obs.Tracer
+	//simlint:ckptskip tracer wiring; trace emission is observability, not simulation state
+	tr *obs.Tracer
+	//simlint:ckptskip wiring to a shared instrument; the obs registry checkpoints it as its own section
 	latency *obs.Histogram // region service latency, queue entry to resolution
 }
 

@@ -48,15 +48,21 @@ func DefaultHandlerConcurrency(numSMs int) int {
 }
 
 type LocalHandler struct {
-	q      *clock.Queue
-	as     *vm.AddressSpace
-	gran   uint64
+	//simlint:ckptskip wiring to the shared event queue, rebuilt by the harness before restore
+	q *clock.Queue
+	//simlint:ckptskip wiring to the address space, which checkpoints itself as its own section
+	as *vm.AddressSpace
+	//simlint:ckptskip construction-time region granularity, fixed for the life of the handler
+	gran uint64
+	//simlint:ckptskip construction-time handler cost, fixed for the life of the handler
 	cost   int64   // handler occupancy in cycles
 	free   []int64 // handler slot next-free cycles (global pool)
 	allocs []*vm.PhysAllocator
 	stats  LocalStats
-	err    error
-	tr     *obs.Tracer
+	//simlint:ckptskip a non-nil error ends the run before any checkpoint is cut
+	err error
+	//simlint:ckptskip tracer wiring; trace emission is observability, not simulation state
+	tr *obs.Tracer
 }
 
 // SetTracer installs the event tracer; nil disables tracing.

@@ -26,12 +26,16 @@ type Stats struct {
 // cache.Backend for line traffic and serves bulk transfers (context
 // save/restore) through Transfer.
 type DRAM struct {
-	q             *clock.Queue
-	latency       int64
+	//simlint:ckptskip wiring to the shared event queue, rebuilt by the harness before restore
+	q *clock.Queue
+	//simlint:ckptskip construction-time timing parameter, fixed for the life of the model
+	latency int64
+	//simlint:ckptskip construction-time bandwidth parameter, fixed for the life of the model
 	bytesPerCycle float64
-	lineBytes     int
-	nextFree      float64 // cycle at which the pipe is free
-	stats         Stats
+	//simlint:ckptskip construction-time geometry, fixed for the life of the model
+	lineBytes int
+	nextFree  float64 // cycle at which the pipe is free
+	stats     Stats
 }
 
 // New builds the DRAM model. bytesPerCycle is bandwidth divided by the

@@ -19,7 +19,9 @@ const DefaultExcepPollEvery = 1024
 // poll boundary is a pure function of the first post cycle, so the
 // cycle a run terminates at is deterministic and seed-stable.
 type ExcepBoard struct {
-	q         *clock.Queue
+	//simlint:ckptskip wiring to the shared event queue, rebuilt by the harness before restore
+	q *clock.Queue
+	//simlint:ckptskip construction-time polling period, fixed for the life of the board
 	pollEvery int64
 
 	// firstPosted is the cycle of the first posted record (-1 when the

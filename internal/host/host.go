@@ -20,11 +20,13 @@ import (
 // Dispatcher issues thread blocks to SMs in block-ID order and emulates
 // each block lazily the first time it is handed out.
 type Dispatcher struct {
-	total   int
-	next    int
-	done    int
+	total int
+	next  int
+	done  int
+	//simlint:ckptskip emulation closure over the workload, re-supplied at construction
 	emulate func(blockID int) (*emu.BlockTrace, error)
-	err     error
+	//simlint:ckptskip a non-nil error ends the run before any checkpoint is cut
+	err error
 }
 
 // NewDispatcher builds a dispatcher over a grid of total blocks.
@@ -86,18 +88,27 @@ type FaultStats struct {
 // delay here is what makes CPU-side handling the bottleneck (Section
 // 2.4).
 type FaultService struct {
-	q       *clock.Queue
-	link    *interconnect.Link
-	as      *vm.AddressSpace
-	gran    uint64
-	costs   config.FaultCosts
-	toCyc   func(us float64) int64
+	//simlint:ckptskip wiring to the shared event queue, rebuilt by the harness before restore
+	q *clock.Queue
+	//simlint:ckptskip wiring to the interconnect, which checkpoints itself as its own section
+	link *interconnect.Link
+	//simlint:ckptskip wiring to the address space, which checkpoints itself as its own section
+	as *vm.AddressSpace
+	//simlint:ckptskip construction-time region granularity, fixed for the life of the service
+	gran uint64
+	//simlint:ckptskip immutable cost table from config, re-supplied at construction
+	costs config.FaultCosts
+	//simlint:ckptskip unit-conversion closure over the clock rate, re-supplied at construction
+	toCyc func(us float64) int64
+	//simlint:ckptskip chaos hook, rebound by AttachChaos on restore; the plan checkpoints its own progress
 	delayer Delayer
 
 	cpuFree int64 // next cycle the CPU handler is free
 	stats   FaultStats
-	err     error
-	tr      *obs.Tracer
+	//simlint:ckptskip a non-nil error ends the run before any checkpoint is cut
+	err error
+	//simlint:ckptskip tracer wiring; trace emission is observability, not simulation state
+	tr *obs.Tracer
 }
 
 // SetTracer installs the event tracer; nil disables tracing.

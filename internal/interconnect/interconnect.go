@@ -27,11 +27,14 @@ type Jitter interface {
 
 // Link is the CPU-GPU interconnect.
 type Link struct {
-	name     string
+	//simlint:ckptskip identity assigned at construction; the checkpoint section is keyed by it
+	name string
+	//simlint:ckptskip wiring to the shared event queue, rebuilt by the harness before restore
 	q        *clock.Queue
 	channels []int64 // nextFree cycle per channel
-	jitter   Jitter
-	stats    Stats
+	//simlint:ckptskip chaos hook, rebound by AttachChaos on restore; the plan checkpoints its own progress
+	jitter Jitter
+	stats  Stats
 }
 
 // New builds a link with the given number of parallel channels.

@@ -72,6 +72,11 @@ func (l *Ledger) Empty() bool {
 // Plan.TickOrderFree). FlushLedger applies the staged effects; until
 // then the tick has touched only SM-private state, so concurrent
 // TickStaged calls on distinct SMs are race-free.
+//
+// shardpurity proves that contract: the call graph reachable from here
+// must stay inside per-SM receiver state and the staged ledgers.
+//
+//simlint:tickroot
 func (s *SM) TickStaged(led *Ledger) {
 	s.led = led
 	s.Tick()

@@ -126,29 +126,45 @@ type blockRT struct {
 
 // SM is one streaming multiprocessor.
 type SM struct {
-	ID  int
+	//simlint:ckptskip identity assigned at construction; the checkpoint section is keyed by it
+	ID int
+	//simlint:ckptskip immutable run configuration, re-supplied by the harness
 	cfg *config.Config
-	q   *clock.Queue
+	//simlint:ckptskip wiring to the shared event queue, rebuilt by the harness before restore
+	q *clock.Queue
 
-	l1    *cache.Cache
+	//simlint:ckptskip wiring to the private L1, which checkpoints itself as its own section
+	l1 *cache.Cache
+	//simlint:ckptskip wiring to the private L1 TLB, which checkpoints itself as its own section
 	l1tlb *tlb.TLB
-	sink  FaultSink
-	src   BlockSource
+	//simlint:ckptskip wiring to the fault coordinator, rebuilt by the harness before restore
+	sink FaultSink
+	//simlint:ckptskip wiring to the block dispatcher, rebuilt by the harness before restore
+	src BlockSource
+	//simlint:ckptskip wiring to the context mover, rebuilt by the harness before restore
 	mover ContextMover
+	//simlint:ckptskip chaos hook, rebound by AttachChaos on restore; the plan checkpoints its own progress
 	chaos Chaos
+	//simlint:ckptskip wiring to the exception board, rebuilt by the harness before restore
 	excep ExcepSink
 
-	launch        *kernel.Launch
-	occupancy     int // concurrent blocks this kernel supports
+	//simlint:ckptskip kernel launch description, re-supplied by the replayed workload
+	launch *kernel.Launch
+	//simlint:ckptskip derived from launch at BeginKernel, which replay re-executes before restore
+	occupancy int // concurrent blocks this kernel supports
+	//simlint:ckptskip derived from launch at BeginKernel, which replay re-executes before restore
 	warpsPerBlock int
-	logPerBlock   int // operand log entries per block partition
-	blockBytes    int // architectural context size of one block
+	//simlint:ckptskip derived from launch at BeginKernel, which replay re-executes before restore
+	logPerBlock int // operand log entries per block partition
+	//simlint:ckptskip derived from launch at BeginKernel, which replay re-executes before restore
+	blockBytes int // architectural context size of one block
 
 	slots   []*blockRT // active block slots (nil = free)
 	offchip []*blockRT // switched-out blocks
 	// assigned counts blocks this SM currently owns in any state.
 	assigned int
 
+	//simlint:ckptskip flat view over the blocks' warp arrays; saveBlock serializes every warp through its owning block
 	warps     []*warpRT // all warp slots (occupancy * warpsPerBlock)
 	lastFetch int
 	lastIssue int
@@ -159,6 +175,7 @@ type SM struct {
 	bufMask []uint64
 
 	// flightPool is a free list of flight objects; see newFlight.
+	//simlint:ckptskip free list, a pure allocation cache; an empty list after restore is correct
 	flightPool *flight
 
 	idle  bool // nothing proceeded last tick; sleep until next event
@@ -166,23 +183,28 @@ type SM struct {
 
 	// onWake, when set, fires on the idle→awake transition; the main
 	// loop uses it to put the SM back into its active set.
+	//simlint:ckptskip wiring to the main loop, rebuilt by the harness before restore
 	onWake func()
 
 	// OnEvent, when set, receives pipeline events for tests and tracing:
 	// kind is one of "fetch", "issue", "lastcheck", "commit", "squash";
 	// tIdx is the dynamic instruction's trace index within its warp.
+	//simlint:ckptskip test and tracing hook; observability, not simulation state
 	OnEvent func(kind string, warp int, tIdx int32, cycle int64)
 
 	// tr, when attached, receives typed trace events (internal/obs); a
 	// nil tracer costs one branch per emission site.
+	//simlint:ckptskip tracer wiring; trace emission is observability, not simulation state
 	tr *obs.Tracer
 	// led, while non-nil (inside TickStaged only), redirects the tick
 	// path's shared-state side effects — clock schedules, trace
 	// emissions, histogram samples — into the ledger for an ordered
 	// post-barrier flush; see ledger.go.
+	//simlint:ckptskip transient, non-nil only inside TickStaged; checkpoints are never taken mid-tick
 	led *Ledger
 	// met holds the shared aggregate instruments the simulator passes
 	// in; its pointers are nil-safe, so observations run unconditionally.
+	//simlint:ckptskip wiring to shared instruments; the obs registry checkpoints them as its own section
 	met Metrics
 }
 
@@ -197,6 +219,12 @@ type Metrics struct {
 	LogOcc *obs.Histogram
 }
 
+// event fires the OnEvent hook. Shard-pure by runtime gating, not by
+// staging: sim.Run's TickIsolated check refuses the parallel tick phase
+// while any OnEvent hook is installed, so during TickStaged this body
+// is a no-op.
+//
+//simlint:shardsafe
 func (s *SM) event(kind string, w *warpRT, tIdx int32) {
 	if s.OnEvent != nil {
 		s.OnEvent(kind, w.idx, tIdx, s.q.Now())
@@ -223,6 +251,8 @@ func (s *SM) blockTID(b *blockRT) int32 { return int32(b.id * s.warpsPerBlock) }
 // During a staged tick the emission is buffered in the ledger instead,
 // preserving per-SM order; the Enabled pre-check keeps the staged path
 // from buffering events the tracer's filter would drop anyway.
+//
+//simlint:shardsafe
 func (s *SM) trace(k obs.Kind, w *warpRT, tIdx int32) {
 	if s.tr == nil {
 		return
@@ -236,7 +266,37 @@ func (s *SM) trace(k obs.Kind, w *warpRT, tIdx int32) {
 	s.tr.Emit(s.ID, k, s.warpID(w), uint64(tIdx), uint64(w.block.id))
 }
 
-// stall counts one issue-stage stall occurrence and traces it.
+// schedule books an event callback after d cycles. During a staged
+// tick the booking is buffered in the ledger (FlushLedger replays it
+// onto the shared queue in SM index order); otherwise it goes straight
+// to the queue.
+//
+//simlint:shardsafe
+func (s *SM) schedule(d int64, fn func()) {
+	if s.led != nil {
+		s.led.Events.After(d, fn)
+		return
+	}
+	s.q.After(d, fn)
+}
+
+// observeLogOcc samples the operand-log occupancy histogram. During a
+// staged tick the sample is buffered in the ledger; otherwise it is
+// observed directly.
+//
+//simlint:shardsafe
+func (s *SM) observeLogOcc(v int64) {
+	if s.led != nil {
+		s.led.observeLogOcc(v)
+		return
+	}
+	s.met.LogOcc.Observe(v)
+}
+
+// stall counts one issue-stage stall occurrence and traces it. Like
+// trace, a staged tick buffers the emission in the ledger.
+//
+//simlint:shardsafe
 func (s *SM) stall(w *warpRT, f *flight, r obs.StallReason) {
 	s.stats.Stalls[r]++
 	if s.tr == nil {
@@ -466,6 +526,13 @@ func (s *SM) SetWakeHook(h func()) { s.onWake = h }
 
 // wake marks the SM runnable; every event callback that changes SM
 // state calls it.
+//
+// Shard-pure as a boundary: wake only does work on the idle→awake
+// transition, and a ticking SM is by definition not idle — during
+// TickStaged the body is a no-op, so the onWake callback into the run
+// loop's active set fires only from the single-threaded drain phase.
+//
+//simlint:shardsafe
 func (s *SM) wake() {
 	if s.idle {
 		s.idle = false
@@ -682,11 +749,7 @@ issueLoop:
 					continue
 				}
 				w.block.logUsed += logNeed
-				if s.led != nil {
-					s.led.observeLogOcc(int64(w.block.logUsed))
-				} else {
-					s.met.LogOcc.Observe(int64(w.block.logUsed))
-				}
+				s.observeLogOcc(int64(w.block.logUsed))
 			}
 			f.logHeld = logNeed
 		}
@@ -716,11 +779,7 @@ issueLoop:
 		s.stats.Issued++
 		s.event("issue", w, f.tIdx)
 		s.trace(obs.KIssue, w, f.tIdx)
-		if s.led != nil {
-			s.led.Events.After(1, f.opReadFn)
-		} else {
-			s.q.After(1, f.opReadFn)
-		}
+		s.schedule(1, f.opReadFn)
 		budget--
 		unitBudget[unit]--
 		warpsLeft--
@@ -741,6 +800,15 @@ func logEntriesFor(in *isa.Instruction) int {
 // scoreboards are released here in the baseline, warp-disable and
 // operand-log schemes; the replay-queue scheme defers the release of
 // global memory sources to the last TLB check (Section 3.2).
+//
+// Shard-pure as a boundary, not by staging: opRead runs only as an
+// event callback (scheduled via s.schedule from doIssue), so it
+// executes in the single-threaded drain phase, never inside a
+// concurrent TickStaged. The static call graph cannot see that the
+// closure referencing it is deferred, so the boundary is asserted
+// here.
+//
+//simlint:shardsafe
 func (s *SM) opRead(f *flight) {
 	w := f.w
 	if !(s.cfg.Scheme == config.ReplayQueue && f.global()) {
@@ -813,6 +881,13 @@ func (s *SM) clearFetchBlock(w *warpRT) {
 
 // commit retires an instruction: scoreboard release, fetch unblocking,
 // warp/block completion checks, and drain progress for block switching.
+//
+// Shard-pure as a boundary, not by staging: commit runs only as an
+// event callback (commitFn, scheduled from event-time stages), so it
+// executes in the single-threaded drain phase, never inside a
+// concurrent TickStaged.
+//
+//simlint:shardsafe
 func (s *SM) commit(f *flight) {
 	if f.committed || f.squashed {
 		return

@@ -80,18 +80,24 @@ type delivery struct {
 
 // TLB is one translation level backed by a lower Level.
 type TLB struct {
-	cfg      Config
-	sets     int
-	entries  [][]tlbEntry
+	cfg     Config
+	sets    int
+	entries [][]tlbEntry
+	//simlint:ckptskip construction-time geometry derived from cfg; restore cross-checks sets and ways
 	pageSize uint64
-	q        *clock.Queue
-	next     Level
-	mshrs    map[uint64]*tlbMSHR
-	pool     *tlbMSHR  // free list of recycled MSHRs
-	deliver  *delivery // free list of recycled hit deliveries
-	stats    Stats
-	tick     int64
-	waiters  []func()
+	//simlint:ckptskip wiring to the shared event queue, rebuilt by the harness before restore
+	q *clock.Queue
+	//simlint:ckptskip wiring to the lower level, rebuilt by the harness before restore
+	next  Level
+	mshrs map[uint64]*tlbMSHR
+	//simlint:ckptskip free list of recycled MSHRs, a pure allocation cache; an empty list after restore is correct
+	pool *tlbMSHR // free list of recycled MSHRs
+	//simlint:ckptskip free list of recycled hit deliveries, a pure allocation cache; an empty list after restore is correct
+	deliver *delivery // free list of recycled hit deliveries
+	stats   Stats
+	tick    int64
+	//simlint:ckptskip retry closures; SaveState digests the count and replay rebuilds the population
+	waiters []func()
 }
 
 // sendResult schedules done(r) after the TLB latency using a pooled
@@ -334,14 +340,20 @@ type WalkInjector interface {
 // classify callback consults the GPU page table; non-present results
 // are page faults reported upward.
 type FillUnit struct {
-	q           *clock.Queue
-	walkers     int
+	//simlint:ckptskip wiring to the shared event queue, rebuilt by the harness before restore
+	q *clock.Queue
+	//simlint:ckptskip construction-time capacity (Table 1: 64 walkers), fixed for the life of the unit
+	walkers int
+	//simlint:ckptskip construction-time latency (Table 1: 500-cycle walks), fixed for the life of the unit
 	walkLatency int64
 	busy        int
 	queue       []walkReq
-	classify    func(pageVA uint64) Result
-	injector    WalkInjector
-	tr          *obs.Tracer
+	//simlint:ckptskip page-table-probe closure, rebound by the harness before restore
+	classify func(pageVA uint64) Result
+	//simlint:ckptskip chaos hook, rebound by AttachChaos on restore; the plan checkpoints its own progress
+	injector WalkInjector
+	//simlint:ckptskip tracer wiring; trace emission is observability, not simulation state
+	tr *obs.Tracer
 
 	// Walks and FaultsDetected count completed walks and those that
 	// ended in a fault; FaultsInjected counts the detected faults that

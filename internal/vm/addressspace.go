@@ -95,7 +95,8 @@ type AddressSpace struct {
 	GPUPhys  *PhysAllocator
 	CPUPhys  *PhysAllocator
 
-	regions  []Region
+	regions []Region
+	//simlint:ckptskip construction-time geometry, fixed for the life of the address space
 	pageSize uint64
 }
 
