@@ -1,0 +1,63 @@
+// Package atomicio holds the crash-only file idioms shared by the
+// checkpoint container, the experiment campaign's done-files and the
+// simulation-service journal: every write lands in a .tmp sibling
+// first and is renamed into place, so a reader — or a resume after
+// kill -9 — only ever sees complete files. A file cut short by a crash
+// is left behind as a .tmp orphan, which readers skip by construction.
+package atomicio
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// TmpSuffix is the suffix of in-flight write files; readers that scan
+// directories must skip names carrying it.
+const TmpSuffix = ".tmp"
+
+// WriteFile atomically writes data to path: the bytes land in a .tmp
+// sibling first and are renamed into place. On any error the partial
+// .tmp file is removed, never the destination.
+func WriteFile(path string, data []byte) error {
+	tmp := path + TmpSuffix
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// WriteJSON atomically writes v as JSON to path, creating the parent
+// directory if needed.
+func WriteJSON(path string, v any) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return WriteFile(path, data)
+}
+
+// ReadJSON reads path and unmarshals it into v. It fails on missing,
+// torn (.tmp never renamed) or malformed files with the underlying
+// error; callers treating those as "no record" check with os.IsNotExist
+// or simply discard on any error.
+func ReadJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// IsTmp reports whether name is an in-flight write file that directory
+// scans must skip.
+func IsTmp(name string) bool { return strings.HasSuffix(name, TmpSuffix) }

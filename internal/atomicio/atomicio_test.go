@@ -1,0 +1,107 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	if err := WriteFile(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read %q, wrote %q", got, "hello")
+	}
+	// No .tmp sibling may survive a successful write.
+	if _, err := os.Stat(path + TmpSuffix); !os.IsNotExist(err) {
+		t.Fatalf("tmp sibling left behind: %v", err)
+	}
+	// Overwrite goes through the same path.
+	if err := WriteFile(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second" {
+		t.Fatalf("overwrite read %q", got)
+	}
+}
+
+func TestWriteFileErrorKeepsDestination(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	if err := WriteFile(path, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	// A write into a missing directory must fail without touching the
+	// existing destination.
+	if err := WriteFile(filepath.Join(dir, "missing", "rec.json"), []byte("x")); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "keep" {
+		t.Fatalf("destination changed to %q", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	type rec struct {
+		Name   string `json:"name"`
+		Cycles int64  `json:"cycles"`
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "rec.json") // parent created on demand
+	want := rec{Name: "sgemm", Cycles: 101471}
+	if err := WriteJSON(path, want); err != nil {
+		t.Fatal(err)
+	}
+	var got rec
+	if err := ReadJSON(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip %+v != %+v", got, want)
+	}
+}
+
+// TestTornFile models a kill -9 mid-write: only the .tmp sibling
+// exists. Readers must fail (record absent), and the tmp name must be
+// recognizable so directory scans skip it.
+func TestTornFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	if err := os.WriteFile(path+TmpSuffix, []byte(`{"name":"half`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v struct{ Name string }
+	if err := ReadJSON(path, &v); !os.IsNotExist(err) {
+		t.Fatalf("torn write visible at destination: %v", err)
+	}
+	if !IsTmp(path + TmpSuffix) {
+		t.Fatal("IsTmp missed a .tmp name")
+	}
+	if IsTmp(path) {
+		t.Fatal("IsTmp flagged a complete file")
+	}
+}
+
+// TestCorruptFile: a destination holding garbage (torn by a non-atomic
+// writer, or flipped bits) must fail ReadJSON rather than yield a
+// half-decoded record.
+func TestCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	if err := os.WriteFile(path, []byte(`{"name": "trunc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v struct{ Name string }
+	if err := ReadJSON(path, &v); err == nil {
+		t.Fatal("corrupt JSON decoded without error")
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"gpues/internal/atomicio"
 )
 
 // Magic identifies a checkpoint file; the trailing digit is the layout
@@ -350,19 +352,11 @@ func Decode(b []byte) (*Checkpoint, error) {
 	return c, nil
 }
 
-// WriteFile atomically writes the checkpoint to path: the bytes land in
-// a .tmp sibling first and are renamed into place, so a reader (or a
-// resume after kill -9) only ever sees complete files.
+// WriteFile atomically writes the checkpoint to path (tmp+rename via
+// atomicio), so a reader (or a resume after kill -9) only ever sees
+// complete files.
 func (c *Checkpoint) WriteFile(path string) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, c.Encode(), 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return atomicio.WriteFile(path, c.Encode())
 }
 
 // ReadFile reads and validates the checkpoint at path.

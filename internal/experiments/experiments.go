@@ -6,7 +6,6 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"os"
@@ -17,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gpues/internal/atomicio"
 	"gpues/internal/config"
 	"gpues/internal/excep"
 	"gpues/internal/obs"
@@ -312,14 +312,11 @@ func jobCheckpointDir(dir, fig string, j runJob) string {
 }
 
 // readDone returns a prior invocation's cycle count for the job, if a
-// matching done-file exists.
+// matching done-file exists. Torn or malformed files read as absent,
+// so the job simply reruns.
 func readDone(opt Options, fig string, j runJob) (int64, bool) {
-	data, err := os.ReadFile(doneFilePath(opt.ResumeDir, fig, j))
-	if err != nil {
-		return 0, false
-	}
 	var d doneRecord
-	if json.Unmarshal(data, &d) != nil {
+	if atomicio.ReadJSON(doneFilePath(opt.ResumeDir, fig, j), &d) != nil {
 		return 0, false
 	}
 	if d.Fig != fig || d.Bench != j.bench || d.Col != j.col || d.Scale != opt.Scale {
@@ -328,22 +325,11 @@ func readDone(opt Options, fig string, j runJob) (int64, bool) {
 	return d.Cycles, true
 }
 
-// writeDone atomically records a finished run and drops its now-useless
-// in-flight checkpoints.
+// writeDone atomically records a finished run (atomicio tmp+rename) and
+// drops its now-useless in-flight checkpoints.
 func writeDone(opt Options, fig string, j runJob, cycles int64) error {
-	if err := os.MkdirAll(opt.ResumeDir, 0o755); err != nil {
-		return err
-	}
-	data, err := json.Marshal(doneRecord{Fig: fig, Bench: j.bench, Col: j.col, Scale: opt.Scale, Cycles: cycles})
-	if err != nil {
-		return err
-	}
-	path := doneFilePath(opt.ResumeDir, fig, j)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	d := doneRecord{Fig: fig, Bench: j.bench, Col: j.col, Scale: opt.Scale, Cycles: cycles}
+	if err := atomicio.WriteJSON(doneFilePath(opt.ResumeDir, fig, j), d); err != nil {
 		return err
 	}
 	os.RemoveAll(jobCheckpointDir(opt.ResumeDir, fig, j))

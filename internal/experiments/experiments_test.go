@@ -7,6 +7,10 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"gpues/internal/config"
+	"gpues/internal/sim"
+	"gpues/internal/workloads"
 )
 
 // The full suites run via cmd/experiments; tests here exercise the
@@ -186,5 +190,87 @@ func TestResumeDirDiscardStaleDoneFile(t *testing.T) {
 	}
 	if v := r.Rows[0].Values["replay-queue"]; v <= 0 || v > 1.02 {
 		t.Errorf("stale done-file corrupted the figure: %+v", r.Rows[0].Values)
+	}
+}
+
+// A torn done-file (kill -9 mid-write leaves only the .tmp sibling, or
+// a corrupt destination) must read as absent: the job reruns instead of
+// being skipped with garbage cycles.
+func TestResumeDirIgnoresTornDoneFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	// Only the .tmp sibling exists: the atomic-write idiom guarantees the
+	// destination never appears half-written, so this is the on-disk
+	// state after a mid-write kill.
+	if err := os.WriteFile(filepath.Join(dir, "fig10-mri-q-baseline.done.json.tmp"),
+		[]byte(`{"fig":"fig10","bench":"mri-q"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And a sibling column's destination holds garbage (torn by a
+	// non-atomic writer): it must be discarded, not half-decoded.
+	if err := os.WriteFile(filepath.Join(dir, "fig10-mri-q-replay-queue.done.json"),
+		[]byte(`{"fig":"fig10","cycles":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Fig10(Options{Scale: 1, Benchmarks: []string{"mri-q"}, ResumeDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Rows[0].Values["replay-queue"]; v <= 0 || v > 1.02 {
+		t.Errorf("torn done-files corrupted the figure: %+v", r.Rows[0].Values)
+	}
+}
+
+// A checkpoint written under a different configuration (here: another
+// scheme) must be discarded — fingerprint mismatch — and the job rerun
+// from scratch on a fresh memory image.
+func TestResumeDirDiscardsStaleCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+
+	// Plant a mid-flight checkpoint of a replay-queue run where the
+	// baseline column's checkpoints live.
+	cfg := config.Default()
+	cfg.Scheme = config.ReplayQueue
+	spec, err := workloads.Build("mri-q", workloads.Params{Scale: 1, Placement: workloads.Resident()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StepTo(5000); err != nil {
+		t.Fatal(err)
+	}
+	ckptDir := filepath.Join(dir, "fig10-mri-q-baseline.ckpts")
+	if _, err := s.WriteCheckpoint(ckptDir); err != nil {
+		t.Fatal(err)
+	}
+
+	var lines []string
+	r, err := Fig10(Options{Scale: 1, Benchmarks: []string{"mri-q"}, ResumeDir: dir,
+		Progress: func(s string) { lines = append(lines, s) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	discarded := false
+	for _, l := range lines {
+		if strings.Contains(l, "discarding checkpoint") {
+			discarded = true
+		}
+	}
+	if !discarded {
+		t.Errorf("stale checkpoint was not discarded; progress: %q", lines)
+	}
+	if v := r.Rows[0].Values["replay-queue"]; v <= 0 || v > 1.02 {
+		t.Errorf("stale checkpoint corrupted the figure: %+v", r.Rows[0].Values)
 	}
 }

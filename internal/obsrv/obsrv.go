@@ -67,6 +67,7 @@ type Server struct {
 
 	cur  atomic.Pointer[published]
 	camp atomic.Pointer[Campaign]
+	fab  atomic.Pointer[obs.Snapshot]
 
 	// lastCycle/lastWall feed the wall-rate estimate; only the publish
 	// path (one goroutine) touches them.
@@ -134,6 +135,16 @@ func (s *Server) PublishTelemetry(snap sim.TelemetrySnapshot) {
 // latest progress line). Safe to call from any goroutine.
 func (s *Server) SetCampaign(done, total int, last string) {
 	s.camp.Store(&Campaign{Done: done, Total: total, Last: last})
+}
+
+// PublishFabric installs a job-fabric metrics snapshot (simserv
+// coordinator: queue depth, retries, lease expiries, cache hits);
+// /metrics renders it alongside any simulator telemetry. Snapshots
+// are immutable values, so the same swap-behind-a-pointer discipline
+// applies. Safe to call from any goroutine, but callers must not
+// mutate snap after publishing.
+func (s *Server) PublishFabric(snap obs.Snapshot) {
+	s.fab.Store(&snap)
 }
 
 // status is the /status JSON document.
@@ -205,11 +216,22 @@ func promName(name string) string {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	p := s.cur.Load()
-	if p == nil {
+	fab := s.fab.Load()
+	if p == nil && fab == nil {
 		return // no data yet: an empty exposition is valid
 	}
-	m := p.snap.Metrics
-	fmt.Fprintf(w, "# TYPE gpues_cycle counter\ngpues_cycle %d\n", p.snap.Cycle)
+	if p != nil {
+		fmt.Fprintf(w, "# TYPE gpues_cycle counter\ngpues_cycle %d\n", p.snap.Cycle)
+		writeSnapshot(w, p.snap.Metrics)
+	}
+	if fab != nil {
+		writeSnapshot(w, *fab)
+	}
+}
+
+// writeSnapshot renders one obs.Snapshot in the Prometheus exposition
+// format: counters, gauges, then histograms as summaries.
+func writeSnapshot(w http.ResponseWriter, m obs.Snapshot) {
 	writeGroup := func(vals map[string]int64, typ string) {
 		names := make([]string, 0, len(vals))
 		for n := range vals {

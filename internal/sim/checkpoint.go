@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"gpues/internal/ckpt"
+	"gpues/internal/config"
 )
 
 // namedSaver pairs a checkpoint section name with its component.
@@ -91,27 +92,44 @@ func (c *simCore) RestoreState(r *ckpt.Reader) error {
 	return r.Err()
 }
 
-// fingerprintSpec hashes the launch spec a simulator was built for:
-// kernel identity and shape, the registered regions, and the initial
-// functional memory image. New calls it before any simulation runs, so
-// the memory digest covers the initial image.
-func (s *Simulator) fingerprintSpec() uint64 {
+// FingerprintConfig returns the checkpoint config fingerprint of cfg —
+// the value stamped into every checkpoint and used as half of the
+// result-cache key. The worker count and sampling period are excluded:
+// neither ever changes simulation results, so runs differing only in
+// those fields are interchangeable.
+func FingerprintConfig(cfg config.Config) uint64 {
+	cfg.Workers = 0
+	cfg.SampleEvery = 0
+	return ckpt.Digest([]byte(fmt.Sprintf("%#v", cfg)))
+}
+
+// FingerprintSpec hashes a launch spec: kernel identity and shape, the
+// registered regions, and the current functional memory image. New
+// calls it before any simulation runs, so the memory digest covers the
+// initial image; callers fingerprinting for the result cache must do
+// the same (runs mutate the functional memory).
+func FingerprintSpec(spec LaunchSpec) uint64 {
 	h := ckpt.NewHasher()
-	h.Bytes([]byte(s.spec.Launch.Kernel.Name))
-	h.U64(uint64(len(s.spec.Launch.Kernel.Code)))
-	h.U64(uint64(s.spec.Launch.Blocks()))
-	h.U64(uint64(s.spec.Launch.ThreadsPerBlock()))
-	for _, r := range s.spec.Regions {
+	h.Bytes([]byte(spec.Launch.Kernel.Name))
+	h.U64(uint64(len(spec.Launch.Kernel.Code)))
+	h.U64(uint64(spec.Launch.Blocks()))
+	h.U64(uint64(spec.Launch.ThreadsPerBlock()))
+	for _, r := range spec.Regions {
 		h.Bytes([]byte(r.Name))
 		h.U64(r.Base)
 		h.U64(r.Size)
 		h.U64(uint64(r.Kind))
 	}
 	w := ckpt.NewWriter()
-	s.spec.Memory.SaveState(w)
+	spec.Memory.SaveState(w)
 	h.Bytes(w.Data())
 	return h.Sum()
 }
+
+// Fingerprints returns the simulator's config and spec fingerprints —
+// the pair a checkpoint must match to restore here, and the key the
+// simulation service's result cache is built on.
+func (s *Simulator) Fingerprints() (cfgFP, specFP uint64) { return s.cfgFP, s.specFP }
 
 // Capture serializes the complete current state into a checkpoint.
 // Valid only at a cycle boundary (the main loop's top); callers inside

@@ -10,7 +10,6 @@ import (
 
 	"gpues/internal/cache"
 	"gpues/internal/chaos"
-	"gpues/internal/ckpt"
 	"gpues/internal/clock"
 	"gpues/internal/config"
 	"gpues/internal/core"
@@ -353,13 +352,11 @@ func New(cfg config.Config, spec LaunchSpec) (*Simulator, error) {
 	// Neither the worker count nor the sampling period ever changes
 	// simulation results (the parallel tick phase is bit-identical to
 	// sequential, and the sampler only reads), so both are excluded
-	// from the config fingerprint: a checkpoint taken at one worker
-	// count or sampling period restores under any other.
-	fpCfg := cfg
-	fpCfg.Workers = 0
-	fpCfg.SampleEvery = 0
-	s.cfgFP = ckpt.Digest([]byte(fmt.Sprintf("%#v", fpCfg)))
-	s.specFP = s.fingerprintSpec()
+	// from the config fingerprint (see FingerprintConfig): a checkpoint
+	// taken at one worker count or sampling period restores under any
+	// other.
+	s.cfgFP = FingerprintConfig(cfg)
+	s.specFP = FingerprintSpec(spec)
 	return s, nil
 }
 
